@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (table or figure) at the
+``small`` scale by default (override with ``REPRO_BENCH_SCALE``) and
+writes its rendered report to ``results/<experiment>.txt`` so the
+numbers used in EXPERIMENTS.md are reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: pathlib.Path, name: str, report: str) -> None:
+    (results_dir / f"{name}.txt").write_text(report + "\n")

@@ -1,0 +1,75 @@
+"""Ablation: adaptive caching threshold on vs off (paper section 3.2.2).
+
+The adaptive mechanism's job is to keep low-reuse data out of the Data
+Area (routing it through the TempBuf) without hurting high-reuse
+workloads.  We compare a fixed always-admit configuration against the
+adaptive one on a reuse-poor (uniform) and a reuse-rich (zipfian)
+stream.
+"""
+
+import dataclasses
+
+from repro.analysis.report import text_table
+from repro.experiments.runner import run_trace_on
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+
+from benchmarks.conftest import save_report
+
+
+def run_variant(scale, distribution: str, adaptive: bool, initial_threshold: int):
+    config = scale.sim_config()
+    config = config.scaled(
+        pipette=dataclasses.replace(config.pipette, adaptive_caching=adaptive),
+        cache=dataclasses.replace(config.cache, initial_threshold=initial_threshold),
+    )
+    trace = synthetic_trace(
+        SyntheticConfig(
+            workload="E",
+            distribution=distribution,
+            requests=scale.synthetic_requests // 2,
+            file_size=scale.synthetic_file_bytes,
+        )
+    )
+    return run_trace_on("pipette", trace, config)
+
+
+def test_ablation_adaptive_threshold(benchmark, scale, results_dir):
+    def run_all():
+        rows = []
+        results = {}
+        for distribution in ("uniform", "zipfian"):
+            for adaptive in (False, True):
+                result = run_variant(scale, distribution, adaptive, initial_threshold=1)
+                label = f"{distribution}/{'adaptive' if adaptive else 'fixed'}"
+                results[label] = result
+                stats = result.cache_stats
+                rows.append(
+                    [
+                        label,
+                        f"{stats['fgrc_hit_ratio']:.3f}",
+                        f"{stats['fgrc_threshold']:.0f}",
+                        f"{stats['fgrc_admissions']:.0f}",
+                        f"{stats['fgrc_tempbuf_passes']:.0f}",
+                        f"{result.traffic_mib:.1f}",
+                    ]
+                )
+        report = text_table(
+            ["Variant", "FGRC hit", "final threshold", "admissions", "tempbuf", "traffic MiB"],
+            rows,
+            title="Ablation: adaptive caching threshold (workload E)",
+        )
+        return results, report
+
+    results, report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_report(results_dir, "ablation_adaptive", report)
+
+    # Under reuse-poor uniform access the adaptive controller must
+    # raise the threshold and divert traffic through the TempBuf.
+    uniform_adaptive = results["uniform/adaptive"].cache_stats
+    uniform_fixed = results["uniform/fixed"].cache_stats
+    assert uniform_adaptive["fgrc_threshold"] >= uniform_fixed["fgrc_threshold"]
+    assert uniform_adaptive["fgrc_admissions"] <= uniform_fixed["fgrc_admissions"]
+    # Under reuse-rich zipfian access it must not lose significant hits.
+    zipf_adaptive = results["zipfian/adaptive"].cache_stats
+    zipf_fixed = results["zipfian/fixed"].cache_stats
+    assert zipf_adaptive["fgrc_hit_ratio"] > zipf_fixed["fgrc_hit_ratio"] * 0.9

@@ -1,0 +1,62 @@
+"""Ablation: dispatch threshold sweep (Read Dispatcher, section 3.1.2).
+
+Where should the byte path hand over to the block path?  Sweeping the
+threshold on a mixed-size workload (C: 50/50) shows the trade-off the
+paper's dispatcher design implies: too low and small reads suffer block
+amplification; the paper's choice (one page) routes everything below a
+page to the byte path.
+"""
+
+import dataclasses
+
+from repro.analysis.report import text_table
+from repro.experiments.runner import run_trace_on
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+
+from benchmarks.conftest import save_report
+
+THRESHOLDS = [128, 512, 1024, 4096]
+
+
+def run_variant(scale, threshold: int):
+    config = scale.sim_config()
+    config = config.scaled(
+        pipette=dataclasses.replace(config.pipette, dispatch_threshold_bytes=threshold)
+    )
+    trace = synthetic_trace(
+        SyntheticConfig(
+            workload="C",
+            distribution="zipfian",
+            requests=scale.synthetic_requests // 2,
+            file_size=scale.synthetic_file_bytes,
+        )
+    )
+    return run_trace_on("pipette", trace, config)
+
+
+def test_ablation_dispatch_threshold(benchmark, scale, results_dir):
+    results = benchmark.pedantic(
+        lambda: {threshold: run_variant(scale, threshold) for threshold in THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            f"{threshold} B",
+            f"{result.traffic_mib:.1f}",
+            f"{result.throughput_ops:,.0f}",
+            f"{result.cache_stats['fgrc_hit_ratio']:.3f}",
+        ]
+        for threshold, result in results.items()
+    ]
+    report = text_table(
+        ["Dispatch threshold", "traffic MiB", "ops/s (sim)", "FGRC hit"],
+        rows,
+        title="Ablation: dispatch threshold sweep (workload C, zipfian)",
+    )
+    save_report(results_dir, "ablation_dispatch", report)
+
+    # 128 B threshold sends the (128 B) small reads down the block
+    # path: traffic must be strictly worse than the paper's one-page
+    # threshold, which routes them through the byte path.
+    assert results[4096].traffic_bytes < results[128].traffic_bytes

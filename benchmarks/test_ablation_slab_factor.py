@@ -1,0 +1,57 @@
+"""Ablation: slab-class growth factor (cache organization, section 3.2.1).
+
+Finer class granularity (growth factor 1.25) wastes less memory per
+item but needs more classes/slabs; coarse granularity (4.0) wastes up
+to 4x per item.  The social-graph trace's variable record sizes make
+the difference visible in resident-item counts at a fixed budget.
+"""
+
+import dataclasses
+
+from repro.analysis.report import text_table
+from repro.experiments.runner import run_trace_on
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+
+from benchmarks.conftest import save_report
+
+FACTORS = [1.25, 2.0, 4.0]
+
+
+def run_variant(scale, factor: float):
+    config = scale.sim_config()
+    config = config.scaled(
+        cache=dataclasses.replace(config.cache, growth_factor=factor)
+    )
+    trace = social_graph_trace(
+        SocialGraphConfig(
+            nodes=scale.social_nodes,
+            operations=scale.social_operations // 2,
+        )
+    )
+    return run_trace_on("pipette", trace, config)
+
+
+def test_ablation_slab_growth_factor(benchmark, scale, results_dir):
+    results = benchmark.pedantic(
+        lambda: {factor: run_variant(scale, factor) for factor in FACTORS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            f"{factor}",
+            f"{result.cache_stats['fgrc_resident_items']:.0f}",
+            f"{result.cache_stats['fgrc_hit_ratio']:.3f}",
+            f"{result.cache_stats['fgrc_usage_bytes'] / 2**20:.2f}",
+        ]
+        for factor, result in results.items()
+    ]
+    report = text_table(
+        ["Growth factor", "resident items", "FGRC hit", "FGRC MiB"],
+        rows,
+        title="Ablation: slab-class growth factor (social graph)",
+    )
+    save_report(results_dir, "ablation_slab_factor", report)
+
+    for result in results.values():
+        assert result.cache_stats["fgrc_hit_ratio"] > 0.0

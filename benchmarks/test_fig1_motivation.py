@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 1 (motivation: 2B-SSD vs Block I/O)."""
+
+from repro.experiments import fig1
+
+from benchmarks.conftest import save_report
+
+
+def test_fig1_motivation(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(fig1.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "fig1", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    for comparison in outcome.comparisons:
+        block = comparison.result("block-io")
+        two_b = comparison.result("2b-ssd-dma")
+        # The paper's motivating observation: 2B-SSD cuts I/O traffic
+        # dramatically but delivers *worse* throughput than block I/O.
+        assert two_b.throughput_ops < block.throughput_ops
+        assert two_b.traffic_bytes < 0.5 * block.traffic_bytes

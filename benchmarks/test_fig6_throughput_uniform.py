@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 6 (normalized throughput, uniform)."""
+
+from repro.experiments import fig6
+
+from benchmarks.conftest import save_report
+
+
+def test_fig6_throughput_uniform(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(fig6.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "fig6", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    comparisons = {c.workload: c for c in outcome.comparisons}
+    # Paper shape: Pipette never loses on A, wins E; gains grow with
+    # the small-read ratio.
+    assert comparisons["A"].normalized_throughput("pipette") > 0.95
+    assert comparisons["E"].normalized_throughput("pipette") > 1.0
+    assert (
+        comparisons["E"].normalized_throughput("pipette")
+        >= comparisons["A"].normalized_throughput("pipette")
+    )
+    # MMIO degrades as large reads dominate.
+    assert (
+        comparisons["A"].normalized_throughput("2b-ssd-mmio")
+        < comparisons["E"].normalized_throughput("2b-ssd-mmio")
+    )

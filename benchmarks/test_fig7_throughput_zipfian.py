@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 7 (normalized throughput, zipfian)."""
+
+from repro.experiments import fig7
+
+from benchmarks.conftest import save_report
+
+
+def test_fig7_throughput_zipfian(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(fig7.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "fig7", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    comparisons = {c.workload: c for c in outcome.comparisons}
+    values = [comparisons[w].normalized_throughput("pipette") for w in "ABCDE"]
+    # Paper: ~1.0x on A growing to 1.1-1.4x on E.
+    assert values[0] > 0.9
+    assert values[-1] > 1.05
+    assert values[-1] >= values[0]
+    # With locality, the fine-grained cache is what separates Pipette
+    # from the no-cache byte path (the paper's headline mechanism).
+    assert comparisons["E"].normalized_throughput("pipette") > comparisons[
+        "E"
+    ].normalized_throughput("pipette-nocache")

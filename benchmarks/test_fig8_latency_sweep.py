@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 8 (read latency vs request size)."""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import save_report
+
+
+def test_fig8_latency_sweep(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(fig8.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "fig8", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    latencies = outcome.extra["latencies_us"]
+    # Paper orderings at fine-grained sizes:
+    for size in (8, 128, 1024):
+        assert latencies["pipette-nocache"][size] < latencies["2b-ssd-dma"][size]
+        assert latencies["2b-ssd-dma"][size] < latencies["block-io"][size]
+    # Paper: block I/O is 14.56-38.89 us slower than 2B-SSD DMA.
+    gap = latencies["block-io"][128] - latencies["2b-ssd-dma"][128]
+    assert 5.0 < gap < 45.0
+    # Paper: 2B-SSD DMA is 21.79-25.06 us slower than Pipette w/o cache.
+    gap = latencies["2b-ssd-dma"][128] - latencies["pipette-nocache"][128]
+    assert 15.0 < gap < 30.0
+    # MMIO grows linearly and crosses DMA near 1 KiB.
+    assert latencies["2b-ssd-mmio"][512] < latencies["2b-ssd-dma"][512]
+    assert latencies["2b-ssd-mmio"][2048] > latencies["2b-ssd-dma"][2048]

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 9 (real-world application results)."""
+
+from repro.experiments import fig9
+
+from benchmarks.conftest import save_report
+
+
+def test_fig9_real_apps(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(fig9.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "fig9", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    for comparison in outcome.comparisons:
+        # Fig. 9(a): Pipette outperforms block I/O on both applications
+        # (paper: 1.32x and 1.34x).
+        assert comparison.normalized_throughput("pipette") > 1.0
+        # ...while the no-cache byte paths lose throughput.
+        assert comparison.normalized_throughput("pipette-nocache") < 1.0
+        # Fig. 9(b): Pipette slashes I/O traffic vs block I/O
+        # (paper: 95.6% / 93.6% reductions).
+        block = comparison.result("block-io").traffic_bytes
+        pipette = comparison.result("pipette").traffic_bytes
+        assert pipette < 0.25 * block
+        # No-cache traffic sits between: byte-granular but uncached.
+        nocache = comparison.result("pipette-nocache").traffic_bytes
+        assert pipette < nocache < block

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the hot simulator primitives (real wall-clock).
+
+Unlike the experiment benches (which reproduce paper artifacts in
+virtual time), these measure the Python implementation itself, so
+regressions in the hot paths show up in CI.
+"""
+
+import random
+
+import pytest
+
+from repro.config import KIB, MIB, CacheConfig, PipetteConfig
+from repro.core.read_cache.cache import FineGrainedReadCache
+from repro.kernel.fs.ext4 import ExtentFileSystem
+from repro.kernel.page_cache import PageCache
+from repro.ssd.hmb import HostMemoryBuffer
+from repro.workloads.zipf import ZipfSampler
+
+
+@pytest.fixture
+def cache():
+    cache_config = CacheConfig(
+        shared_memory_bytes=8 * MIB,
+        fgrc_bytes=4 * MIB,
+        tempbuf_bytes=64 * KIB,
+        info_area_entries=256,
+    )
+    hmb = HostMemoryBuffer(size=8 * MIB)
+    page_cache = PageCache(capacity_bytes=8 * MIB, page_size=4096)
+    fgrc = FineGrainedReadCache(
+        cache_config, PipetteConfig(), hmb, page_cache, transfer_data=False
+    )
+    for index in range(10_000):
+        fgrc.lookup(1, index * 128, 128)
+        fgrc.admit(1, index * 128, 128)
+    return fgrc
+
+
+def test_fgrc_lookup_hit(benchmark, cache):
+    benchmark(cache.lookup, 1, 128 * 128, 128)
+
+
+def test_fgrc_lookup_miss(benchmark, cache):
+    benchmark(cache.lookup, 1, 10_000_000, 128)
+
+
+def test_fgrc_admit_evict_cycle(benchmark, cache):
+    counter = iter(range(10_000_000))
+
+    def admit_one():
+        offset = 20_000_000 + next(counter) * 128
+        cache.lookup(2, offset, 128)
+        cache.admit(2, offset, 128)
+
+    benchmark(admit_one)
+
+
+def test_zipf_sample(benchmark):
+    sampler = ZipfSampler(33_000_000, 0.8, random.Random(1))
+    benchmark(sampler.sample)
+
+
+def test_extract_ranges(benchmark):
+    fs = ExtentFileSystem(total_pages=1 << 20, page_size=4096)
+    inode = fs.create("/f", 64 * MIB)
+    benchmark(fs.extract_ranges, inode, 12_345_678, 128)
+
+
+def test_page_cache_lookup(benchmark):
+    page_cache = PageCache(capacity_bytes=8 * MIB, page_size=4096)
+    for page in range(2048):
+        page_cache.insert(1, page, None)
+    benchmark(page_cache.lookup, 1, 1024)

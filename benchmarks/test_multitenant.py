@@ -1,0 +1,24 @@
+"""Bench: multi-tenant workload sharing one fine-grained cache."""
+
+from repro.experiments import multitenant
+
+from benchmarks.conftest import save_report
+
+
+def test_multitenant(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(multitenant.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "multitenant", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    comparison = outcome.comparisons[0]
+    # Pipette still wins with two tenants sharing the cache.
+    assert comparison.normalized_throughput("pipette") > 1.0
+    assert (
+        comparison.result("pipette").traffic_bytes
+        < comparison.result("block-io").traffic_bytes
+    )
+    # Both tenants' size classes hold items (128 B embeddings + the
+    # graph's small/variable records all land in the shared allocator).
+    stats = comparison.result("pipette").cache_stats
+    assert stats["fgrc_resident_items"] > 0
+    assert stats["fgrc_hit_ratio"] > 0.2

@@ -1,0 +1,20 @@
+"""Bench: queue-depth sweep validating the bottleneck throughput model."""
+
+from repro.experiments import qd_sweep
+
+from benchmarks.conftest import save_report
+
+
+def test_qd_sweep(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(qd_sweep.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "qd_sweep", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    extra = outcome.extra
+    # Throughput grows (weakly) with queue depth for both systems.
+    for curve in (extra["block_throughput"], extra["pipette_throughput"]):
+        assert all(b >= a * 0.999 for a, b in zip(curve, curve[1:]))
+    # At high depth the event simulation converges to the bottleneck
+    # (busy-time) model the harness uses for the Fig. 6/7/9 throughput.
+    assert extra["block_des_ns"] / extra["block_prediction_ns"] < 1.15
+    assert extra["pipette_des_ns"] / extra["pipette_prediction_ns"] < 1.15

@@ -1,0 +1,20 @@
+"""Bench: FGRC capacity sensitivity sweep (extension experiment)."""
+
+from repro.experiments import sensitivity
+
+from benchmarks.conftest import save_report
+
+
+def test_sensitivity_fgrc_size(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(sensitivity.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "sensitivity_fgrc", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    hits = outcome.extra["hit_curve"]
+    traffic = outcome.extra["traffic_curve"]
+    # More cache never hurts: hit ratio weakly increases, traffic
+    # weakly decreases along the sweep.
+    assert all(b >= a - 1.0 for a, b in zip(hits, hits[1:]))
+    assert all(b <= a * 1.05 for a, b in zip(traffic, traffic[1:]))
+    assert hits[-1] >= hits[0]
+    assert traffic[-1] <= traffic[0]

@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 2 (I/O traffic, uniform distribution)."""
+
+from repro.experiments import table2
+
+from benchmarks.conftest import save_report
+
+
+def test_table2_traffic_uniform(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(table2.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "table2", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    comparisons = {c.workload: c for c in outcome.comparisons}
+    demanded = {
+        workload: comparisons[workload].result("block-io").demanded_bytes
+        for workload in comparisons
+    }
+    # No-cache rows transfer exactly the requested bytes (paper identity).
+    for workload, comparison in comparisons.items():
+        for name in ("2b-ssd-mmio", "2b-ssd-dma", "pipette-nocache"):
+            assert comparison.result(name).traffic_bytes == demanded[workload]
+    # Block I/O traffic is (nearly) identical across the five mixes.
+    block = [comparisons[w].result("block-io").traffic_bytes for w in "ABCDE"]
+    assert (max(block) - min(block)) / max(block) < 0.15
+    # Pipette: equal to block on A, monotonically below as smalls grow.
+    pipette = [comparisons[w].result("pipette").traffic_bytes for w in "ABCDE"]
+    assert pipette[0] <= block[0] * 1.02
+    assert pipette == sorted(pipette, reverse=True)
+    assert pipette[-1] < demanded["E"]  # cache removes repeat traffic

@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 3 (I/O traffic, zipfian distribution)."""
+
+from repro.experiments import table3
+from repro.experiments.synthetic_suite import run_suite
+
+from benchmarks.conftest import save_report
+
+
+def test_table3_traffic_zipfian(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(table3.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "table3", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    comparisons = {c.workload: c for c in outcome.comparisons}
+    # No-cache identity also holds under zipf.
+    for workload, comparison in comparisons.items():
+        demanded = comparison.result("block-io").demanded_bytes
+        assert comparison.result("pipette-nocache").traffic_bytes == demanded
+    # Zipf locality cuts block I/O traffic below the uniform run's
+    # (Table 3 vs Table 2 in the paper).
+    uniform = {c.workload: c for c in run_suite("uniform", scale)}
+    assert (
+        comparisons["E"].result("block-io").traffic_bytes
+        < uniform["E"].result("block-io").traffic_bytes
+    )
+    # Pipette's cache removes repeat traffic under reuse.
+    assert (
+        comparisons["E"].result("pipette").traffic_bytes
+        < comparisons["E"].result("pipette-nocache").traffic_bytes
+    )

@@ -1,0 +1,34 @@
+"""Bench: regenerate Table 4 (page cache vs fine-grained read cache)."""
+
+from repro.experiments import table4
+
+from benchmarks.conftest import save_report
+
+
+def test_table4_cache_stats(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(table4.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "table4", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    for comparison in outcome.comparisons:
+        block_stats = comparison.result("block-io").cache_stats
+        pipette_stats = comparison.result("pipette").cache_stats
+        # The FGRC achieves its hit ratio with far less memory than the
+        # page cache burns (paper: 91 MB vs 2382 MB etc.).
+        assert (
+            pipette_stats["fgrc_usage_bytes"] < block_stats["page_cache_peak_bytes"]
+        )
+        # Both caches see real reuse on these workloads.  (The social
+        # graph's FGRC ratio is structurally lower here than the
+        # paper's 89%: its update-heavy op mix keeps hot pages in the
+        # page cache, which the fine path consults first — see
+        # EXPERIMENTS.md.)
+        assert pipette_stats["fgrc_hit_ratio"] > 0.1
+        assert block_stats["page_cache_hit_ratio"] > 0.3
+
+
+def test_recommender_fgrc_hit_ratio_high(benchmark, scale):
+    """The embedding workload's skew drives a high FGRC hit ratio."""
+    outcome = benchmark.pedantic(table4.run, args=(scale,), rounds=1, iterations=1)
+    recommender = outcome.comparison("recommender-system")
+    assert recommender.result("pipette").cache_stats["fgrc_hit_ratio"] > 0.6

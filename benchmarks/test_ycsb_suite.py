@@ -1,0 +1,52 @@
+"""Bench: YCSB core workload mixes across systems (extension)."""
+
+from repro.analysis.metrics import WorkloadComparison
+from repro.analysis.report import normalized_throughput_table, traffic_table
+from repro.experiments.runner import run_comparison
+from repro.workloads.ycsb import YcsbConfig, ycsb_trace
+
+from benchmarks.conftest import save_report
+
+WORKLOADS = ["A", "B", "C", "F"]
+SYSTEMS = ["block-io", "pipette-nocache", "pipette", "pipette-rw"]
+
+
+def test_ycsb_suite(benchmark, scale, results_dir):
+    def run_all() -> list[WorkloadComparison]:
+        comparisons = []
+        for workload in WORKLOADS:
+            trace = ycsb_trace(
+                YcsbConfig(
+                    workload=workload,
+                    records=scale.synthetic_file_bytes // 1024 // 2,
+                    operations=scale.synthetic_requests // 4,
+                )
+            )
+            comparisons.append(
+                run_comparison(
+                    trace, scale.sim_config(), systems=SYSTEMS, workload_label=workload
+                )
+            )
+        return comparisons
+
+    comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report = normalized_throughput_table(
+        comparisons, "YCSB mixes: normalized throughput (extension)"
+    )
+    report += "\n\n" + traffic_table(comparisons, "YCSB mixes: read I/O traffic (MiB)")
+    save_report(results_dir, "ycsb", report)
+    benchmark.extra_info["report"] = report
+
+    for comparison in comparisons:
+        # Pipette's 1 KiB-record reads beat the block path on every mix.
+        assert comparison.normalized_throughput("pipette") > 1.0
+        assert (
+            comparison.result("pipette").traffic_bytes
+            < comparison.result("block-io").traffic_bytes
+        )
+    # The write-combining variant shines on the update-heavy mixes.
+    update_heavy = comparisons[0]  # workload A
+    assert (
+        update_heavy.normalized_throughput("pipette-rw")
+        >= update_heavy.normalized_throughput("pipette") * 0.95
+    )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Latency anatomy: where each read path spends its time.
+
+Issues one cold read and one warm read of every size on each system and
+prints the per-size latency matrix — a quick interactive version of the
+paper's Figure 8 with the cache effect made explicit.
+
+Run:  python examples/latency_anatomy.py
+"""
+
+from __future__ import annotations
+
+from repro import SimConfig, build_system
+from repro.analysis.metrics import SYSTEM_LABELS, SYSTEM_ORDER
+from repro.analysis.report import text_table
+from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
+
+SIZES = [8, 64, 128, 512, 1024, 4096]
+FILE = "/data/probe.bin"
+
+
+def probe(system_name: str) -> tuple[list[float], list[float]]:
+    """(cold, warm) per-size latencies in us."""
+    system = build_system(system_name, SimConfig())
+    system.create_file(FILE, 1024 * 1024)
+    fd = system.open(FILE, O_RDWR | O_FINE_GRAINED)
+    cold: list[float] = []
+    warm: list[float] = []
+    offset = 0
+    for size in SIZES:
+        before = system.latency.total_ns
+        system.read(fd, offset, size)
+        cold.append((system.latency.total_ns - before) / 1000)
+        before = system.latency.total_ns
+        system.read(fd, offset, size)
+        warm.append((system.latency.total_ns - before) / 1000)
+        offset += 65536  # fresh pages for the next size
+    return cold, warm
+
+
+def main() -> None:
+    cold_rows = []
+    warm_rows = []
+    for name in SYSTEM_ORDER:
+        cold, warm = probe(name)
+        cold_rows.append([SYSTEM_LABELS[name]] + [f"{value:.1f}" for value in cold])
+        warm_rows.append([SYSTEM_LABELS[name]] + [f"{value:.1f}" for value in warm])
+    headers = ["System"] + [f"{size}B" for size in SIZES]
+    print(text_table(headers, cold_rows, title="Cold read latency (us, simulated)"))
+    print()
+    print(text_table(headers, warm_rows, title="Repeat read latency (us, simulated)"))
+    print()
+    print("Note the three signatures from the paper's Fig. 8: MMIO latency")
+    print("grows with size (8 B non-posted loads); 2B-SSD DMA pays its")
+    print("mapping on every access even when repeated; Pipette's repeat")
+    print("reads collapse to ~2 us once the fine-grained cache holds them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Reliability demo: transient NAND faults, retries, GC wear.
+
+Runs the same fine-grained read stream against a healthy device and a
+degraded one (transient read-fault injection), showing the retry
+machinery recovering every byte at a visible latency cost; then churns
+writes until garbage collection kicks in and prints the FTL's wear
+report under both victim-selection policies.
+
+Run:  python examples/reliability_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import build_system
+from repro.config import MIB, SimConfig, SSDSpec
+from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
+from repro.ssd.faults import FaultModel
+from repro.ssd.ftl import FlashTranslationLayer, GcPolicy
+from repro.ssd.nand import FlashArray
+
+FILE = "/data/records.bin"
+
+
+def fault_section() -> None:
+    print("=== Transient read faults ===")
+    results = {}
+    for label, rate in (("healthy", 0.0), ("degraded", 0.25)):
+        config = SimConfig(faults=FaultModel(read_fault_rate=rate, max_retries=10))
+        system = build_system("pipette-nocache", config)
+        system.create_file(FILE, 4 * MIB)
+        fd = system.open(FILE, O_RDWR | O_FINE_GRAINED)
+        rng = random.Random(5)
+        payloads = []
+        for _ in range(2000):
+            offset = rng.randrange(0, 4 * MIB - 128)
+            payloads.append(system.read(fd, offset, 128))
+        results[label] = (system, payloads)
+    healthy_system, healthy_data = results["healthy"]
+    degraded_system, degraded_data = results["degraded"]
+    assert healthy_data == degraded_data, "retries must recover identical data"
+    print(f"  2,000 reads, data identical on both devices: yes")
+    print(
+        f"  mean latency: healthy {healthy_system.latency.mean_ns() / 1000:.1f} us, "
+        f"degraded {degraded_system.latency.mean_ns() / 1000:.1f} us"
+    )
+    print(
+        f"  retries performed on the degraded device: "
+        f"{degraded_system.device.controller.read_retries:,}\n"
+    )
+
+
+def wear_section() -> None:
+    print("=== Garbage collection and wear ===")
+    from repro.config import TimingModel
+
+    for policy in (GcPolicy.GREEDY, GcPolicy.COST_BENEFIT):
+        spec = SSDSpec(capacity_bytes=1 * MIB, pages_per_block=4)
+        ftl = FlashTranslationLayer(
+            nand=FlashArray.create(spec, TimingModel()), gc_policy=policy
+        )
+        page = bytes(4096)
+        op_pages = ftl.nand.physical_pages - ftl.nand.spec.total_pages
+        for index in range(op_pages * 6):
+            ftl.write(index % 8, page)
+        report = ftl.wear_report()
+        print(
+            f"  {policy.value:<13} GC runs {ftl.stats.gc_runs:>3}, "
+            f"erases {report.total_erases:>3} over {report.blocks_touched} blocks "
+            f"(max {report.max_erases}/block), "
+            f"write amplification {report.write_amplification:.2f}x"
+        )
+
+
+def main() -> None:
+    fault_section()
+    wear_section()
+
+
+if __name__ == "__main__":
+    main()

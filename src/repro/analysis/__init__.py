@@ -1,0 +1,18 @@
+"""Metrics aggregation and paper-style report rendering."""
+
+from repro.analysis.metrics import ExperimentOutcome, WorkloadComparison
+from repro.analysis.report import (
+    latency_table,
+    normalized_throughput_table,
+    text_table,
+    traffic_table,
+)
+
+__all__ = [
+    "ExperimentOutcome",
+    "WorkloadComparison",
+    "latency_table",
+    "normalized_throughput_table",
+    "text_table",
+    "traffic_table",
+]

@@ -1,0 +1,113 @@
+"""Text-mode charts: grouped bars and log-x line plots.
+
+The paper's evaluation artifacts are *figures*; these renderers turn
+the measured series into terminal-friendly plots so `pipette-repro`
+output mirrors the paper visually, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Glyph per system, keeping multi-series charts readable.
+_GLYPHS = "#*+o@x%="
+
+
+def hbar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    title: str,
+    unit: str = "",
+    width: int = 48,
+) -> str:
+    """Horizontal grouped bar chart.
+
+    ``series`` maps group label (e.g. workload "A") to an ordered
+    mapping of series label (system) -> value.
+    """
+    if not series:
+        return title + "\n(no data)"
+    peak = max(
+        (value for group in series.values() for value in group.values()),
+        default=0.0,
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(
+        (len(label) for group in series.values() for label in group), default=4
+    )
+    lines = [title]
+    for group_label, group in series.items():
+        lines.append(f"{group_label}:")
+        for index, (label, value) in enumerate(group.items()):
+            bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+            glyph = _GLYPHS[index % len(_GLYPHS)]
+            bar = glyph * len(bar)
+            lines.append(f"  {label.ljust(label_width)} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str,
+    height: int = 16,
+    log_x: bool = False,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid."""
+    if not series or not x_values:
+        return title + "\n(no data)"
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {label!r} length mismatch")
+
+    def x_pos(value: float) -> float:
+        return math.log(value) if log_x else value
+
+    x_low = x_pos(x_values[0])
+    x_high = x_pos(x_values[-1])
+    x_span = (x_high - x_low) or 1.0
+    y_high = max(max(values) for values in series.values())
+    y_low = min(min(values) for values in series.values())
+    y_span = (y_high - y_low) or 1.0
+
+    width = max(40, 6 * len(x_values))
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for index, (label, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in zip(x_values, values):
+            column = round((x_pos(x) - x_low) / x_span * width)
+            row = height - round((y - y_low) / y_span * height)
+            grid[row][column] = glyph
+
+    lines = [title]
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        y_tick = y_high - (row_index / height) * y_span
+        lines.append(f"{y_tick:9.1f} |" + "".join(row))
+    axis = "-" * (width + 1)
+    lines.append(" " * 10 + "+" + axis)
+    tick_line = [" "] * (width + 24)  # slack so the last tick never clips
+    for x in x_values:
+        column = 11 + round((x_pos(x) - x_low) / x_span * width)
+        text = f"{x:g}"
+        for offset, char in enumerate(text):
+            position = column + offset - len(text) // 2
+            if 0 <= position < len(tick_line):
+                tick_line[position] = char
+    lines.append("".join(tick_line).rstrip())
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join(
+        f"{_GLYPHS[index % len(_GLYPHS)]} {label}" for index, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+__all__ = ["hbar_chart", "line_chart"]

@@ -1,0 +1,109 @@
+"""Result regression diffing: compare two exported result sets.
+
+``pipette-repro all --export out/`` writes per-experiment JSON; this
+module compares two such exports (e.g. before/after a code change) and
+reports per-metric relative deltas, flagging anything outside a
+tolerance — the reproduction's regression detector.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.analysis.report import text_table
+
+#: Metrics compared per (workload, system) row.
+METRICS = ["throughput_ops", "traffic_bytes", "mean_latency_ns"]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Relative change of one metric on one (workload, system) row."""
+
+    workload: str
+    system: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return (self.after - self.before) / self.before
+
+    def within(self, tolerance: float) -> bool:
+        return abs(self.relative) <= tolerance
+
+
+def _index(rows: list[dict]) -> dict[tuple[str, str], dict]:
+    return {(row["workload"], row["system"]): row for row in rows}
+
+
+def diff_results(
+    before_rows: list[dict],
+    after_rows: list[dict],
+) -> list[MetricDelta]:
+    """Compute metric deltas between two result-row lists."""
+    before = _index(before_rows)
+    after = _index(after_rows)
+    deltas: list[MetricDelta] = []
+    for key in sorted(before.keys() & after.keys()):
+        workload, system = key
+        for metric in METRICS:
+            deltas.append(
+                MetricDelta(
+                    workload=workload,
+                    system=system,
+                    metric=metric,
+                    before=float(before[key][metric]),
+                    after=float(after[key][metric]),
+                )
+            )
+    return deltas
+
+
+def diff_files(
+    before_path: str | pathlib.Path,
+    after_path: str | pathlib.Path,
+) -> list[MetricDelta]:
+    """Diff two exported JSON result files."""
+    before_rows = json.loads(pathlib.Path(before_path).read_text())
+    after_rows = json.loads(pathlib.Path(after_path).read_text())
+    return diff_results(before_rows, after_rows)
+
+
+def render_diff(deltas: list[MetricDelta], *, tolerance: float = 0.02) -> str:
+    """Human-readable regression report; exceedances marked '<<'."""
+    rows = []
+    regressions = 0
+    for delta in deltas:
+        flag = ""
+        if not delta.within(tolerance):
+            flag = "<<"
+            regressions += 1
+        rows.append(
+            [
+                delta.workload,
+                delta.system,
+                delta.metric,
+                f"{delta.before:.4g}",
+                f"{delta.after:.4g}",
+                f"{100 * delta.relative:+.2f}%",
+                flag,
+            ]
+        )
+    title = (
+        f"Result diff: {regressions} metric(s) moved beyond "
+        f"±{100 * tolerance:.0f}% of {len(deltas)} compared"
+    )
+    return text_table(
+        ["workload", "system", "metric", "before", "after", "delta", ""],
+        rows,
+        title=title,
+    )
+
+
+__all__ = ["METRICS", "MetricDelta", "diff_files", "diff_results", "render_diff"]

@@ -1,0 +1,90 @@
+"""Export measured results to CSV/JSON for external plotting tools."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Sequence
+
+from repro.analysis.metrics import WorkloadComparison
+
+#: Columns of the flat result table, one row per (workload, system).
+CSV_FIELDS = [
+    "workload",
+    "system",
+    "requests",
+    "demanded_bytes",
+    "traffic_bytes",
+    "elapsed_ns",
+    "mean_latency_ns",
+    "throughput_ops",
+    "normalized_throughput",
+    "read_amplification",
+    "bottleneck",
+]
+
+
+def comparisons_to_rows(comparisons: Sequence[WorkloadComparison]) -> list[dict]:
+    """Flatten comparisons into CSV/JSON-ready dictionaries."""
+    rows: list[dict] = []
+    for comparison in comparisons:
+        for system in comparison.systems():
+            result = comparison.result(system)
+            rows.append(
+                {
+                    "workload": comparison.workload,
+                    "system": system,
+                    "requests": result.requests,
+                    "demanded_bytes": result.demanded_bytes,
+                    "traffic_bytes": result.traffic_bytes,
+                    "elapsed_ns": result.elapsed_ns,
+                    "mean_latency_ns": result.mean_latency_ns,
+                    "throughput_ops": result.throughput_ops,
+                    "normalized_throughput": comparison.normalized_throughput(system),
+                    "read_amplification": result.read_amplification,
+                    "bottleneck": result.bottleneck,
+                }
+            )
+    return rows
+
+
+def to_csv(comparisons: Sequence[WorkloadComparison]) -> str:
+    """Render comparisons as a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for row in comparisons_to_rows(comparisons):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(comparisons: Sequence[WorkloadComparison], *, with_cache_stats: bool = True) -> str:
+    """Render comparisons as a JSON string (optionally with cache stats)."""
+    rows = comparisons_to_rows(comparisons)
+    if with_cache_stats:
+        index = 0
+        for comparison in comparisons:
+            for system in comparison.systems():
+                rows[index]["cache_stats"] = comparison.result(system).cache_stats
+                index += 1
+    return json.dumps(rows, indent=2, sort_keys=True)
+
+
+def save(
+    comparisons: Sequence[WorkloadComparison],
+    path: str | pathlib.Path,
+) -> pathlib.Path:
+    """Write comparisons to ``path`` (.csv or .json, by extension)."""
+    target = pathlib.Path(path)
+    if target.suffix == ".csv":
+        target.write_text(to_csv(comparisons))
+    elif target.suffix == ".json":
+        target.write_text(to_json(comparisons))
+    else:
+        raise ValueError(f"unsupported export format {target.suffix!r} (use .csv/.json)")
+    return target
+
+
+__all__ = ["CSV_FIELDS", "comparisons_to_rows", "save", "to_csv", "to_json"]

@@ -1,0 +1,87 @@
+"""Cross-system comparison containers used by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.system import SystemResult
+
+#: The paper's normalization baseline.
+BASELINE = "block-io"
+
+#: Presentation order used across all tables and figures.
+SYSTEM_ORDER = [
+    "block-io",
+    "2b-ssd-mmio",
+    "2b-ssd-dma",
+    "pipette-nocache",
+    "pipette",
+]
+
+#: Pretty names matching the paper's legends.
+SYSTEM_LABELS = {
+    "block-io": "Block I/O",
+    "2b-ssd-mmio": "2B-SSD MMIO",
+    "2b-ssd-dma": "2B-SSD DMA",
+    "pipette-nocache": "Pipette w/o cache",
+    "pipette": "Pipette",
+}
+
+
+@dataclass
+class WorkloadComparison:
+    """All systems' results on one workload."""
+
+    workload: str
+    results: dict[str, SystemResult]
+    baseline: str = BASELINE
+
+    def result(self, system: str) -> SystemResult:
+        return self.results[system]
+
+    def normalized_throughput(self, system: str) -> float:
+        """Throughput relative to the baseline (paper Figs. 6/7/9a)."""
+        base = self.results[self.baseline].throughput_ops
+        if base <= 0:
+            return 0.0
+        return self.results[system].throughput_ops / base
+
+    def traffic_mib(self, system: str) -> float:
+        """I/O traffic in MiB (paper Tables 2/3, Fig. 9b)."""
+        return self.results[system].traffic_mib
+
+    def mean_latency_us(self, system: str) -> float:
+        return self.results[system].mean_latency_ns / 1_000.0
+
+    def systems(self) -> list[str]:
+        """Result keys in presentation order (extras appended sorted)."""
+        ordered = [name for name in SYSTEM_ORDER if name in self.results]
+        extras = sorted(name for name in self.results if name not in SYSTEM_ORDER)
+        return ordered + extras
+
+
+@dataclass
+class ExperimentOutcome:
+    """A finished experiment: id, comparisons, rendered report."""
+
+    experiment: str
+    title: str
+    comparisons: list[WorkloadComparison]
+    report: str = ""
+    notes: list[str] = field(default_factory=list)
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def comparison(self, workload: str) -> WorkloadComparison:
+        for item in self.comparisons:
+            if item.workload == workload:
+                return item
+        raise KeyError(workload)
+
+
+__all__ = [
+    "BASELINE",
+    "ExperimentOutcome",
+    "SYSTEM_LABELS",
+    "SYSTEM_ORDER",
+    "WorkloadComparison",
+]

@@ -1,0 +1,150 @@
+"""Plain-text table rendering in the layout of the paper's artifacts."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.charts import hbar_chart, line_chart
+from repro.analysis.metrics import SYSTEM_LABELS, WorkloadComparison
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[index]) for index, value in enumerate(values)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def _label(system: str) -> str:
+    return SYSTEM_LABELS.get(system, system)
+
+
+def normalized_throughput_table(
+    comparisons: Sequence[WorkloadComparison], title: str
+) -> str:
+    """Systems x workloads matrix of baseline-normalized throughput."""
+    if not comparisons:
+        return title + "\n(no data)"
+    systems = comparisons[0].systems()
+    headers = ["System"] + [comparison.workload for comparison in comparisons]
+    rows = [
+        [_label(system)]
+        + [f"{comparison.normalized_throughput(system):.2f}x" for comparison in comparisons]
+        for system in systems
+    ]
+    return text_table(headers, rows, title=title)
+
+
+def traffic_table(comparisons: Sequence[WorkloadComparison], title: str) -> str:
+    """Systems x workloads matrix of I/O traffic in MiB."""
+    if not comparisons:
+        return title + "\n(no data)"
+    systems = comparisons[0].systems()
+    headers = ["System"] + [comparison.workload for comparison in comparisons]
+    rows = [
+        [_label(system)]
+        + [f"{comparison.traffic_mib(system):.1f}" for comparison in comparisons]
+        for system in systems
+    ]
+    return text_table(headers, rows, title=title)
+
+
+def latency_table(
+    sizes: Sequence[int],
+    latencies_us: dict[str, dict[int, float]],
+    title: str,
+) -> str:
+    """Systems x request-size matrix of mean read latency (us)."""
+    systems = list(latencies_us)
+    headers = ["System"] + [f"{size}B" for size in sizes]
+    rows = [
+        [_label(system)] + [f"{latencies_us[system].get(size, 0.0):.1f}" for size in sizes]
+        for system in systems
+    ]
+    return text_table(headers, rows, title=title)
+
+
+def cache_table(comparisons: Sequence[WorkloadComparison], title: str) -> str:
+    """Paper Table 4: page cache vs FGRC hit ratio and memory usage."""
+    headers = ["Workload", "System", "Hit Ratio (%)", "Memory Usage (MiB)"]
+    rows: list[list[object]] = []
+    for comparison in comparisons:
+        for system in ("block-io", "pipette"):
+            if system not in comparison.results:
+                continue
+            stats = comparison.result(system).cache_stats
+            if system == "block-io":
+                ratio = stats.get("page_cache_hit_ratio", 0.0)
+                usage = stats.get("page_cache_peak_bytes", 0.0)
+            else:
+                ratio = stats.get("fgrc_hit_ratio", 0.0)
+                usage = stats.get("fgrc_usage_bytes", 0.0)
+            rows.append(
+                [
+                    comparison.workload,
+                    _label(system),
+                    f"{100.0 * ratio:.2f}",
+                    f"{usage / (1024 * 1024):.1f}",
+                ]
+            )
+    return text_table(headers, rows, title=title)
+
+
+def throughput_bar_chart(comparisons: Sequence[WorkloadComparison], title: str) -> str:
+    """Figure-style rendering of baseline-normalized throughput."""
+    series = {
+        comparison.workload: {
+            _label(system): comparison.normalized_throughput(system)
+            for system in comparison.systems()
+        }
+        for comparison in comparisons
+    }
+    return hbar_chart(series, title=title, unit="x")
+
+
+def latency_line_chart(
+    sizes: Sequence[int],
+    latencies_us: dict[str, dict[int, float]],
+    title: str,
+) -> str:
+    """Figure 8-style log-x latency plot."""
+    series = {
+        _label(system): [per_size[size] for size in sizes]
+        for system, per_size in latencies_us.items()
+    }
+    return line_chart(
+        list(sizes),
+        series,
+        title=title,
+        log_x=True,
+        y_label="latency (us)",
+        x_label="read size (bytes, log scale)",
+    )
+
+
+__all__ = [
+    "cache_table",
+    "latency_line_chart",
+    "latency_table",
+    "normalized_throughput_table",
+    "text_table",
+    "throughput_bar_chart",
+    "traffic_table",
+]

@@ -1,0 +1,12 @@
+"""Comparison systems: Block I/O, 2B-SSD (MMIO/DMA), Pipette w/o cache."""
+
+from repro.baselines.block_io import BlockIOSystem
+from repro.baselines.pipette_nocache import PipetteNoCacheSystem
+from repro.baselines.two_b_ssd import TwoBSSDDmaSystem, TwoBSSDMmioSystem
+
+__all__ = [
+    "BlockIOSystem",
+    "PipetteNoCacheSystem",
+    "TwoBSSDDmaSystem",
+    "TwoBSSDMmioSystem",
+]

@@ -1,0 +1,79 @@
+"""Pipette without the fine-grained read cache ("Pipette w/o cache").
+
+Keeps Pipette's HMB-based byte-addressable path — the persistent DMA
+mapping established at initialization means no per-access setup cost —
+but every read still goes to flash: only the demanded bytes cross the
+link (traffic = requested bytes), and latency is the full NAND round
+trip.  The gap between this system and full Pipette isolates the value
+of the fine-grained read cache in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines._direct_write import direct_write
+from repro.config import SimConfig
+from repro.kernel.vfs import OpenFile
+from repro.system import StorageSystem, register_system
+
+
+@register_system
+class PipetteNoCacheSystem(StorageSystem):
+    """Pipette's byte path with caching disabled."""
+
+    NAME = "pipette-nocache"
+
+    def __init__(self, config: SimConfig) -> None:
+        super().__init__(config)
+        # HMB feature negotiation: persistent mapping, off the read path.
+        self.device.enable_hmb()
+
+    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
+        timing = self.config.timing
+        device = self.device
+        inode = entry.inode
+
+        latency = float(timing.fine_stack_ns + timing.fine_miss_host_ns)
+        device.resources.host(timing.fine_stack_ns + timing.fine_miss_host_ns)
+
+        ranges = self.fs.extract_ranges(inode, offset, size)
+        chunks: list[bytes] = []
+        nand_ns_each: list[float] = []
+        for piece in ranges:
+            pages = -(-(piece.offset_in_page + piece.length) // self.fs.page_size)
+            staged: list[bytes | None] = []
+            for page_offset in range(pages):
+                content, nand_ns = device.controller.sense_page(piece.lba + page_offset)
+                staged.append(content)
+                nand_ns_each.append(nand_ns)
+            if self.config.transfer_data:
+                joined = b"".join(page or b"" for page in staged)
+                chunks.append(joined[piece.offset_in_page : piece.offset_in_page + piece.length])
+        if nand_ns_each:
+            rounds = math.ceil(len(nand_ns_each) / self.config.ssd.channels)
+            latency += rounds * max(nand_ns_each)
+
+        transfer = device.link.dma_to_host_ns(size)
+        device.resources.pcie(transfer)
+        latency += transfer + timing.completion_ns
+        device.resources.host(timing.completion_ns)
+
+        data = b"".join(chunks) if self.config.transfer_data else None
+        if data is not None and len(data) != size:
+            raise RuntimeError(f"byte path returned {len(data)} of {size} bytes")
+        return data, latency
+
+    def _write(self, entry: OpenFile, offset: int, data: bytes) -> None:
+        direct_write(self.device, self.fs, entry.inode, offset, data)
+
+    def cache_stats(self) -> dict[str, float]:
+        return {
+            "page_cache_hit_ratio": 0.0,
+            "page_cache_usage_bytes": 0.0,
+            "fgrc_hit_ratio": 0.0,
+            "fgrc_usage_bytes": 0.0,
+        }
+
+
+__all__ = ["PipetteNoCacheSystem"]

@@ -1,0 +1,41 @@
+"""Read Dispatcher (paper section 3.1.2).
+
+Receives the reads the page cache missed and routes each to the
+byte-addressable interface or the conventional block interface, mainly
+based on the request size: anything smaller than the dispatch threshold
+(one page by default) takes the fine-grained path; page-sized and
+larger reads keep the traditional path, whose read-ahead and paging
+serve spatial locality well.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.kernel.vfs import OpenFile
+
+
+class DispatchDecision(enum.Enum):
+    FINE = "fine"
+    BLOCK = "block"
+
+
+@dataclass
+class ReadDispatcher:
+    """Size-based routing between the two read interfaces."""
+
+    threshold_bytes: int = 4096
+    fine_dispatches: int = 0
+    block_dispatches: int = 0
+
+    def decide(self, entry: OpenFile, size: int) -> DispatchDecision:
+        """Route one read request."""
+        if entry.fine_grained and 0 < size < self.threshold_bytes:
+            self.fine_dispatches += 1
+            return DispatchDecision.FINE
+        self.block_dispatches += 1
+        return DispatchDecision.BLOCK
+
+
+__all__ = ["DispatchDecision", "ReadDispatcher"]

@@ -1,0 +1,28 @@
+"""Fine-grained read cache (paper section 3.2)."""
+
+from repro.core.read_cache.adaptive import AdaptiveThreshold
+from repro.core.read_cache.cache import CacheLookup, FineGrainedReadCache
+from repro.core.read_cache.dynalloc import AllocationAction, DynamicAllocator
+from repro.core.read_cache.info_area import InfoArea, InfoRecord
+from repro.core.read_cache.lookup import FileLookupTable
+from repro.core.read_cache.lru import LruList
+from repro.core.read_cache.reassign import SlabReassigner
+from repro.core.read_cache.slab import CacheItem, SlabAllocator, SlabClass
+from repro.core.read_cache.tempbuf import TempBufArea
+
+__all__ = [
+    "AdaptiveThreshold",
+    "AllocationAction",
+    "CacheItem",
+    "CacheLookup",
+    "DynamicAllocator",
+    "FileLookupTable",
+    "FineGrainedReadCache",
+    "InfoArea",
+    "InfoRecord",
+    "LruList",
+    "SlabAllocator",
+    "SlabClass",
+    "SlabReassigner",
+    "TempBufArea",
+]

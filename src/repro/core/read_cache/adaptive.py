@@ -1,0 +1,78 @@
+"""Adaptive caching mechanism (paper section 3.2.2).
+
+Pipette admits a fine-grained object into the Data Area only once it
+has been accessed at least *threshold* times; colder data detours
+through the TempBuf.  The threshold self-tunes: an access counter and a
+reuse counter are kept per adaptation window, and the reuse ratio
+(repeated accesses / total accesses) is compared against configured
+bounds — low reuse raises the threshold (cache less), high reuse
+lowers it (cache eagerly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AdaptiveThreshold:
+    """Reuse-ratio-driven promotion threshold controller."""
+
+    initial: int = 0
+    minimum: int = 0
+    maximum: int = 8
+    ratio_min: float = 0.10
+    ratio_max: float = 0.50
+    period: int = 4096
+    enabled: bool = True
+
+    threshold: int = field(init=False)
+    access_count: int = field(init=False, default=0)
+    reuse_count: int = field(init=False, default=0)
+    window_accesses: int = field(init=False, default=0)
+    window_reuses: int = field(init=False, default=0)
+    adjustments: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.initial <= self.maximum:
+            raise ValueError("initial threshold outside [minimum, maximum]")
+        if not 0.0 <= self.ratio_min <= self.ratio_max <= 1.0:
+            raise ValueError("need 0 <= ratio_min <= ratio_max <= 1")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        self.threshold = self.initial
+
+    def on_access(self, *, repeated: bool) -> None:
+        """Record one byte-granular access (``repeated`` = seen before)."""
+        self.access_count += 1
+        self.window_accesses += 1
+        if repeated:
+            self.reuse_count += 1
+            self.window_reuses += 1
+        if self.enabled and self.window_accesses >= self.period:
+            self._adapt()
+
+    def _adapt(self) -> None:
+        ratio = self.window_reuses / self.window_accesses
+        if ratio < self.ratio_min and self.threshold < self.maximum:
+            self.threshold += 1
+            self.adjustments += 1
+        elif ratio > self.ratio_max and self.threshold > self.minimum:
+            self.threshold -= 1
+            self.adjustments += 1
+        self.window_accesses = 0
+        self.window_reuses = 0
+
+    def should_admit(self, prior_accesses: int) -> bool:
+        """Admit once the range has been accessed >= threshold times before."""
+        return prior_accesses >= self.threshold
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Lifetime reuse ratio (reuse / access)."""
+        if not self.access_count:
+            return 0.0
+        return self.reuse_count / self.access_count
+
+
+__all__ = ["AdaptiveThreshold"]

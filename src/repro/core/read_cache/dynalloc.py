@@ -1,0 +1,76 @@
+"""Dynamic allocation strategy (paper section 3.2.4).
+
+Arbitrates host memory between the page cache and the fine-grained
+read cache by comparing their hit ratios whenever the FGRC hits memory
+pressure:
+
+- page cache winning -> **solution 1**: evict the LRU item within the
+  requesting slab class (the FGRC lives within its current budget);
+- FGRC winning (hit ratio >= page cache's) -> **solution 2**: migrate
+  one slab's data out of the shared region (borrowing budget from the
+  page cache) and hand the freed slab to the requesting class.
+
+The policy object is pure — it only decides; the cache executes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AllocationAction(enum.Enum):
+    """What to do when the FGRC cannot allocate memory."""
+
+    EVICT_ITEM = "evict-item"
+    MIGRATE_SLAB = "migrate-slab"
+    DENY = "deny"
+
+
+@dataclass
+class DynamicAllocator:
+    """Hit-ratio-driven arbitration between the two caches."""
+
+    enabled: bool = True
+    #: Ceiling on FGRC growth, as a fraction of the shared budget.
+    fgrc_max_fraction: float = 0.75
+    shared_budget_bytes: int = 0
+    decisions_evict: int = 0
+    decisions_migrate: int = 0
+    decisions_deny: int = 0
+
+    def decide(
+        self,
+        *,
+        fgrc_hit_ratio: float,
+        page_cache_hit_ratio: float,
+        fgrc_usage_bytes: int,
+        can_migrate: bool,
+        can_evict: bool,
+    ) -> AllocationAction:
+        """Pick the pressure-relief action for one failed allocation."""
+        at_growth_cap = (
+            self.shared_budget_bytes > 0
+            and fgrc_usage_bytes >= self.fgrc_max_fraction * self.shared_budget_bytes
+        )
+        migrate_preferred = (
+            self.enabled
+            and fgrc_hit_ratio >= page_cache_hit_ratio
+            and not at_growth_cap
+        )
+        if migrate_preferred and can_migrate:
+            self.decisions_migrate += 1
+            return AllocationAction.MIGRATE_SLAB
+        if can_evict:
+            self.decisions_evict += 1
+            return AllocationAction.EVICT_ITEM
+        if can_migrate and self.enabled and not at_growth_cap:
+            # Nothing to evict in the class yet; migration is the only
+            # way to free a slab for it.
+            self.decisions_migrate += 1
+            return AllocationAction.MIGRATE_SLAB
+        self.decisions_deny += 1
+        return AllocationAction.DENY
+
+
+__all__ = ["AllocationAction", "DynamicAllocator"]

@@ -1,0 +1,89 @@
+"""Intrusive doubly-linked LRU list for cache items.
+
+Each slab class maintains one (paper Figure 3, "Per-Slabclass LRU
+List").  Intrusive links keep every operation O(1) without auxiliary
+dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Protocol
+
+
+class LruNode(Protocol):
+    """Anything with intrusive ``lru_prev``/``lru_next`` links."""
+
+    lru_prev: Optional["LruNode"]
+    lru_next: Optional["LruNode"]
+
+
+class LruList:
+    """Most-recently-used at the head, victim at the tail."""
+
+    def __init__(self) -> None:
+        self._head: LruNode | None = None
+        self._tail: LruNode | None = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[LruNode]:
+        node = self._head
+        while node is not None:
+            yield node
+            node = node.lru_next
+
+    @property
+    def head(self) -> LruNode | None:
+        return self._head
+
+    @property
+    def tail(self) -> LruNode | None:
+        return self._tail
+
+    def push_front(self, node: LruNode) -> None:
+        """Insert a node (must not already be linked) at the MRU end."""
+        if node.lru_prev is not None or node.lru_next is not None or node is self._head:
+            raise ValueError("node already linked")
+        node.lru_next = self._head
+        node.lru_prev = None
+        if self._head is not None:
+            self._head.lru_prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+        self._size += 1
+
+    def remove(self, node: LruNode) -> None:
+        """Unlink a node that is currently in the list."""
+        if node.lru_prev is not None:
+            node.lru_prev.lru_next = node.lru_next
+        elif self._head is node:
+            self._head = node.lru_next
+        else:
+            raise ValueError("node not in this list")
+        if node.lru_next is not None:
+            node.lru_next.lru_prev = node.lru_prev
+        else:
+            self._tail = node.lru_prev
+        node.lru_prev = None
+        node.lru_next = None
+        self._size -= 1
+
+    def touch(self, node: LruNode) -> None:
+        """Move an in-list node to the MRU end."""
+        if self._head is node:
+            return
+        self.remove(node)
+        self.push_front(node)
+
+    def pop_tail(self) -> LruNode | None:
+        """Remove and return the LRU victim, if any."""
+        victim = self._tail
+        if victim is not None:
+            self.remove(victim)
+        return victim
+
+
+__all__ = ["LruList", "LruNode"]

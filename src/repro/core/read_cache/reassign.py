@@ -1,0 +1,69 @@
+"""Adaptive slab reassignment (paper section 3.2.3).
+
+A maintenance thread periodically samples each slab class's eviction
+count; a class whose count has not moved for a configured number of
+scans is considered cold.  When at least one other class *is* evicting
+(i.e. starved for memory), the re-balance thread drains one of the cold
+class's slabs and returns it to the free-slab pool.
+
+The paper moves the victim slab's data through a slab-sized spare
+buffer; since the donating class is cold by construction, this
+implementation drops the (cold) resident items during the drain — the
+interpretation is documented in DESIGN.md.  Both "threads" are modelled
+as periodic calls from the cache's access path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.read_cache.slab import Slab, SlabAllocator, SlabClass
+
+
+@dataclass
+class SlabReassigner:
+    """Periodic cold-class detection and slab donation planning."""
+
+    enabled: bool = True
+    idle_stages: int = 2
+    _last_counts: dict[int, int] = field(default_factory=dict)
+    _idle_scans: dict[int, int] = field(default_factory=dict)
+    scans: int = 0
+    reassignments: int = 0
+
+    def scan(self, allocator: SlabAllocator) -> list[tuple[SlabClass, Slab]]:
+        """One maintenance pass; returns slabs to drain and recycle."""
+        if not self.enabled:
+            return []
+        self.scans += 1
+        victims: list[tuple[SlabClass, Slab]] = []
+        any_starved = False
+        for slab_class in allocator.classes:
+            # Activity = evictions plus denied admissions: a class that
+            # cannot even evict (it holds nothing) still starves.
+            activity = slab_class.eviction_count + slab_class.denied_count
+            previous = self._last_counts.get(slab_class.index, 0)
+            if activity > previous:
+                any_starved = True
+                self._idle_scans[slab_class.index] = 0
+            else:
+                self._idle_scans[slab_class.index] = (
+                    self._idle_scans.get(slab_class.index, 0) + 1
+                )
+            self._last_counts[slab_class.index] = activity
+        if not any_starved or allocator.free_slabs:
+            return []
+        for slab_class in allocator.classes:
+            if self._idle_scans.get(slab_class.index, 0) < self.idle_stages:
+                continue
+            if len(slab_class.slabs) <= 1:
+                continue
+            # Donate the oldest slab (front of the list).
+            victims.append((slab_class, slab_class.slabs[0]))
+            self._idle_scans[slab_class.index] = 0
+            self.reassignments += 1
+            break  # one slab per maintenance pass, like the paper's thread
+        return victims
+
+
+__all__ = ["SlabReassigner"]

@@ -1,0 +1,228 @@
+"""Slab allocator of the fine-grained read cache Data Area.
+
+Memory is organized into uniformly sized slabs, each pre-divided into
+items of one capacity; slabs are grouped into classes by item capacity
+(paper section 3.2.1).  Each class tracks:
+
+- the carving cursor of its most recently acquired slab (start offset
+  of the next free item and remaining count);
+- a *cleanup array* of recycled item offsets (freed by eviction);
+- an LRU list of resident items and an eviction count (consumed by the
+  adaptive reassignment strategy).
+
+The allocator itself never decides eviction policy — on exhaustion it
+returns ``None`` and the dynamic allocation strategy picks solution 1
+(evict within class) or solution 2 (migrate a slab out), per paper
+section 3.2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.read_cache.lru import LruList
+
+
+@dataclass
+class CacheItem:
+    """One cached fine-grained object."""
+
+    ino: int
+    offset: int
+    length: int
+    #: Address of the item's buffer inside the HMB Data Area, or -1
+    #: when the item's slab was migrated out of the shared region.
+    addr: int
+    class_index: int
+    ref_count: int = 0
+    #: Payload for migrated (out-of-HMB) items; None while in the HMB.
+    overflow_data: bytes | None = None
+    lru_prev: object | None = None
+    lru_next: object | None = None
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.offset, self.length)
+
+    @property
+    def in_hmb(self) -> bool:
+        return self.addr >= 0
+
+
+@dataclass
+class Slab:
+    """One contiguous slab inside the Data Area."""
+
+    base_addr: int
+    item_capacity: int
+    item_count: int
+    #: Items currently resident in this slab (for migration).
+    items: set[int] = field(default_factory=set)  # item addresses
+
+
+@dataclass
+class SlabClass:
+    """All slabs holding items of one capacity."""
+
+    index: int
+    item_capacity: int
+    slabs: list[Slab] = field(default_factory=list)
+    #: Carving state of the last acquired slab.
+    next_free_offset: int = 0
+    items_remaining: int = 0
+    #: Recycled item addresses (the paper's "cleanup array").
+    cleanup: list[int] = field(default_factory=list)
+    lru: LruList = field(default_factory=LruList)
+    eviction_count: int = 0
+    #: Admissions denied for lack of memory (starvation signal when the
+    #: class holds nothing it could evict).
+    denied_count: int = 0
+    allocations: int = 0
+
+    @property
+    def current_slab(self) -> Slab | None:
+        return self.slabs[-1] if self.slabs else None
+
+    def carve(self) -> int | None:
+        """Take the next never-used item from the current slab."""
+        if self.items_remaining <= 0:
+            return None
+        addr = self.next_free_offset
+        self.next_free_offset += self.item_capacity
+        self.items_remaining -= 1
+        slab = self.current_slab
+        assert slab is not None
+        slab.items.add(addr)
+        return addr
+
+    def adopt_slab(self, slab: Slab) -> None:
+        """Begin carving a freshly acquired slab."""
+        self.slabs.append(slab)
+        self.next_free_offset = slab.base_addr
+        self.items_remaining = slab.item_count
+
+
+
+class SlabAllocator:
+    """Carves the Data Area into slabs and items."""
+
+    def __init__(
+        self,
+        base_addr: int,
+        size_bytes: int,
+        slab_bytes: int,
+        min_item: int,
+        max_item: int,
+        growth_factor: float,
+    ) -> None:
+        if size_bytes < slab_bytes:
+            raise ValueError("data area smaller than one slab")
+        self.base_addr = base_addr
+        self.size_bytes = size_bytes
+        self.slab_bytes = slab_bytes
+        self.classes: list[SlabClass] = []
+        capacity = min_item
+        index = 0
+        while capacity < max_item:
+            self.classes.append(SlabClass(index=index, item_capacity=capacity))
+            next_capacity = int(capacity * growth_factor)
+            capacity = max(next_capacity, capacity + 1)
+            index += 1
+        self.classes.append(SlabClass(index=index, item_capacity=max_item))
+        #: Free slab pool: base addresses not yet assigned to any class.
+        self.free_slabs: list[int] = list(
+            range(base_addr, base_addr + (size_bytes // slab_bytes) * slab_bytes, slab_bytes)
+        )
+        self.free_slabs.reverse()  # pop() hands out ascending addresses
+        self.total_slabs = len(self.free_slabs)
+        #: O(1) address -> slab resolution (slabs are aligned runs).
+        self._slab_by_base: dict[int, Slab] = {}
+
+    def slab_of(self, addr: int) -> Slab:
+        """Slab containing an item address (O(1) by alignment)."""
+        base = self.base_addr + ((addr - self.base_addr) // self.slab_bytes) * self.slab_bytes
+        slab = self._slab_by_base.get(base)
+        if slab is None:
+            raise KeyError(f"address {addr} not inside any live slab")
+        return slab
+
+    # --- class selection -------------------------------------------------
+    def class_for(self, size: int) -> SlabClass | None:
+        """Smallest class whose items fully accommodate ``size``."""
+        for slab_class in self.classes:
+            if slab_class.item_capacity >= size:
+                return slab_class
+        return None
+
+    # --- allocation --------------------------------------------------------
+    def allocate(self, slab_class: SlabClass) -> int | None:
+        """Allocate one item address in the class.
+
+        Order: recycled items (cleanup array) first, then carve from the
+        current slab, then acquire a fresh slab from the free pool.
+        Returns None under memory pressure (caller applies the dynamic
+        allocation strategy).
+        """
+        if slab_class.cleanup:
+            addr = slab_class.cleanup.pop()
+            self.slab_of(addr).items.add(addr)
+            slab_class.allocations += 1
+            return addr
+        addr = slab_class.carve()
+        if addr is not None:
+            slab_class.allocations += 1
+            return addr
+        if self.free_slabs:
+            base = self.free_slabs.pop()
+            slab = Slab(
+                base_addr=base,
+                item_capacity=slab_class.item_capacity,
+                item_count=self.slab_bytes // slab_class.item_capacity,
+            )
+            self._slab_by_base[base] = slab
+            slab_class.adopt_slab(slab)
+            addr = slab_class.carve()
+            assert addr is not None
+            slab_class.allocations += 1
+            return addr
+        return None
+
+    def recycle(self, item: CacheItem) -> None:
+        """Return an evicted item's buffer to its class's cleanup array."""
+        slab_class = self.classes[item.class_index]
+        if item.in_hmb:
+            self.slab_of(item.addr).items.discard(item.addr)
+            slab_class.cleanup.append(item.addr)
+
+    def release_slab(self, slab_class: SlabClass, slab: Slab) -> None:
+        """Detach a (drained) slab from its class back to the free pool."""
+        if slab.items:
+            raise ValueError("cannot release a slab with resident items")
+        was_current = slab_class.current_slab is slab
+        slab_class.slabs.remove(slab)
+        del self._slab_by_base[slab.base_addr]
+        span_start = slab.base_addr
+        span_end = slab.base_addr + slab.item_capacity * slab.item_count
+        slab_class.cleanup = [
+            addr for addr in slab_class.cleanup if not span_start <= addr < span_end
+        ]
+        if was_current:
+            # The carving cursor pointed into the released slab.
+            slab_class.items_remaining = 0
+            slab_class.next_free_offset = 0
+        self.free_slabs.append(slab.base_addr)
+
+    # --- accounting ----------------------------------------------------------
+    @property
+    def slabs_in_use(self) -> int:
+        return self.total_slabs - len(self.free_slabs)
+
+    def used_bytes(self) -> int:
+        """Bytes of Data Area currently assigned to classes."""
+        return self.slabs_in_use * self.slab_bytes
+
+    def resident_items(self) -> int:
+        return sum(len(slab_class.lru) for slab_class in self.classes)
+
+
+__all__ = ["CacheItem", "Slab", "SlabAllocator", "SlabClass"]

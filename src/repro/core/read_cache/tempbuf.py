@@ -1,0 +1,44 @@
+"""TempBuf Area: staging ring for data not admitted to the cache.
+
+Low-reuse data is DMAed here, copied to the application, and then the
+space is simply reused — precious Data Area memory is never polluted
+(paper section 3.1.2 / Figure 3).  Allocation is a bump pointer that
+wraps; nothing is tracked because the contents are consumed immediately
+by the read that requested them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TempBufArea:
+    """Wrapping bump allocator over a fixed HMB region."""
+
+    base_addr: int
+    size: int
+    _cursor: int = 0
+    allocations: int = 0
+    wraps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("TempBuf size must be positive")
+
+    def alloc(self, length: int) -> int:
+        """Reserve ``length`` transient bytes; returns their HMB address."""
+        if length <= 0:
+            raise ValueError("allocation must be positive")
+        if length > self.size:
+            raise ValueError(f"request {length} exceeds TempBuf of {self.size}")
+        if self._cursor + length > self.size:
+            self._cursor = 0
+            self.wraps += 1
+        addr = self.base_addr + self._cursor
+        self._cursor += length
+        self.allocations += 1
+        return addr
+
+
+__all__ = ["TempBufArea"]

@@ -1,0 +1,12 @@
+"""Experiment runners: one per table/figure of the paper's evaluation."""
+
+from repro.experiments.runner import run_comparison, run_trace_on
+from repro.experiments.scale import ExperimentScale, get_scale, sim_config
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "run_comparison",
+    "run_trace_on",
+    "sim_config",
+]

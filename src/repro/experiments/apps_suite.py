@@ -1,0 +1,48 @@
+"""Shared runner for the real-application workloads (Fig. 9, Table 4)."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import WorkloadComparison
+from repro.experiments.runner import run_comparison
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.workloads.recommender import RecommenderConfig, recommender_trace
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+
+_CACHE: dict[str, list[WorkloadComparison]] = {}
+
+
+def run_apps(
+    scale: ExperimentScale | None = None, *, use_cache: bool = True
+) -> list[WorkloadComparison]:
+    """Run the recommender-system and social-graph traces."""
+    scale = scale or get_scale()
+    if use_cache and scale.name in _CACHE:
+        return _CACHE[scale.name]
+    config = scale.sim_config()
+    recommender = recommender_trace(
+        RecommenderConfig(
+            tables=scale.recsys_tables,
+            total_table_bytes=scale.recsys_table_bytes_total,
+            inferences=scale.recsys_inferences,
+        )
+    )
+    social = social_graph_trace(
+        SocialGraphConfig(
+            nodes=scale.social_nodes,
+            operations=scale.social_operations,
+        )
+    )
+    comparisons = [
+        run_comparison(recommender, config, workload_label="recommender-system"),
+        run_comparison(social, config, workload_label="social-graph"),
+    ]
+    if use_cache:
+        _CACHE[scale.name] = comparisons
+    return comparisons
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+__all__ = ["clear_cache", "run_apps"]

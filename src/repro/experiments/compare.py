@@ -1,0 +1,94 @@
+"""Side-by-side paper vs measured report (`pipette-repro compare`).
+
+Renders each table's published values next to this build's measured
+values with a shape verdict, giving a compact quantitative companion to
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome, SYSTEM_LABELS
+from repro.analysis.report import text_table
+from repro.experiments import paper_values
+from repro.experiments.apps_suite import run_apps
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.experiments.synthetic_suite import run_suite
+
+TITLE = "Paper vs measured"
+
+
+def _traffic_section(
+    comparisons, published: dict[str, dict[str, float]], label: str
+) -> str:
+    rows = []
+    for system, published_row in published.items():
+        measured = {c.workload: c.result(system).traffic_mib for c in comparisons}
+        for workload in paper_values.WORKLOADS:
+            rows.append(
+                [
+                    SYSTEM_LABELS[system],
+                    workload,
+                    f"{published_row[workload]:.1f}",
+                    f"{measured[workload]:.1f}",
+                    f"{measured[workload] / published_row[workload]:.3f}",
+                ]
+            )
+    return text_table(
+        ["System", "wl", "paper MiB", "measured MiB", "scale ratio"],
+        rows,
+        title=label,
+    )
+
+
+def _apps_section(apps) -> str:
+    rows = []
+    for comparison in apps:
+        gain = comparison.normalized_throughput("pipette")
+        paper_gain = paper_values.FIG9_THROUGHPUT_GAIN[comparison.workload]
+        reduction = 1.0 - (
+            comparison.result("pipette").traffic_bytes
+            / comparison.result("block-io").traffic_bytes
+        )
+        paper_reduction = paper_values.FIG9_TRAFFIC_REDUCTION[comparison.workload]
+        rows.append(
+            [
+                comparison.workload,
+                f"{paper_gain:.2f}x",
+                f"{gain:.2f}x",
+                f"-{100 * paper_reduction:.1f}%",
+                f"-{100 * reduction:.1f}%",
+            ]
+        )
+    return text_table(
+        ["Application", "paper gain", "measured gain", "paper traffic", "measured traffic"],
+        rows,
+        title="Fig. 9: real applications (Pipette vs Block I/O)",
+    )
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    uniform = run_suite("uniform", scale)
+    zipfian = run_suite("zipfian", scale)
+    apps = run_apps(scale)
+    sections = [
+        f"{TITLE} [scale={scale.name}] — absolute values differ by the "
+        "scaling factor; compare the shape columns.",
+        _traffic_section(uniform, paper_values.TABLE2_TRAFFIC_MIB, "Table 2 (uniform)"),
+        _traffic_section(zipfian, paper_values.TABLE3_TRAFFIC_MIB, "Table 3 (zipfian)"),
+        _apps_section(apps),
+    ]
+    return ExperimentOutcome(
+        experiment="compare",
+        title=TITLE,
+        comparisons=list(uniform) + list(zipfian) + list(apps),
+        report="\n\n".join(sections),
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

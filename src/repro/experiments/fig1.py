@@ -1,0 +1,61 @@
+"""Figure 1 (motivation): 2B-SSD vs Block I/O on the two applications.
+
+The paper's motivating observation: 2B-SSD slashes I/O traffic on
+fine-grained-read-dominated applications but *loses* throughput because
+its per-access setup costs sit on the critical path and it cannot cache
+hot data in host DRAM.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome, WorkloadComparison
+from repro.analysis.report import text_table
+from repro.experiments.apps_suite import run_apps
+from repro.experiments.scale import ExperimentScale, get_scale
+
+TITLE = "Fig. 1: Motivation — 2B-SSD vs Block I/O on fine-grained applications"
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    comparisons = run_apps(scale)
+    rows: list[list[object]] = []
+    for comparison in comparisons:
+        base = comparison.result("block-io")
+        two_b = comparison.result("2b-ssd-dma")
+        rows.append(
+            [
+                comparison.workload,
+                f"{two_b.throughput_ops / base.throughput_ops:.2f}x"
+                if base.throughput_ops
+                else "n/a",
+                f"{two_b.traffic_bytes / base.traffic_bytes:.2f}x"
+                if base.traffic_bytes
+                else "n/a",
+            ]
+        )
+    report = text_table(
+        ["Application", "2B-SSD throughput (vs Block I/O)", "2B-SSD I/O traffic (vs Block I/O)"],
+        rows,
+        title=TITLE + f" [scale={scale.name}]",
+    )
+    filtered = [
+        WorkloadComparison(
+            workload=comparison.workload,
+            results={
+                name: comparison.results[name] for name in ("block-io", "2b-ssd-dma")
+            },
+        )
+        for comparison in comparisons
+    ]
+    return ExperimentOutcome(
+        experiment="fig1", title=TITLE, comparisons=filtered, report=report
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Figure 5: the hardware prototype specification.
+
+The paper's Figure 5 is the YS9203 platform's spec table; this
+reproduction encodes it as :class:`repro.config.SSDSpec` defaults.  The
+"experiment" renders the live configuration next to the published
+values so any drift in defaults is immediately visible (also enforced
+by ``tests/ssd/test_nand.py::test_fig5_spec_defaults``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import text_table
+from repro.config import GIB, MIB, SSDSpec
+from repro.experiments.scale import ExperimentScale, get_scale
+
+TITLE = "Fig. 5: Hardware prototype specification"
+
+#: The published Figure 5 rows.
+PAPER_SPEC = {
+    "Host Interface": "PCIe Gen.3 x 4",
+    "Protocol": "NVMe 1.2",
+    "Channels": "8",
+    "Ways": "8",
+    "Cores": "2",
+    "Storage Medium": "SLC/MLC/TLC NAND flash",
+    "Mapping Region": "64MB",
+    "Max DDR size": "4GB",
+    "Module Capacity": "477GB",
+}
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    spec = SSDSpec()
+    modelled = {
+        "Host Interface": spec.host_interface,
+        "Protocol": spec.protocol,
+        "Channels": str(spec.channels),
+        "Ways": str(spec.ways),
+        "Cores": str(spec.cores),
+        "Storage Medium": f"{spec.nand_type.value.upper()} (SLC/MLC/TLC supported)",
+        "Mapping Region": f"{spec.mapping_region_bytes // MIB}MiB",
+        "Max DDR size": f"{spec.max_ddr_bytes // GIB}GiB",
+        "Module Capacity": f"{spec.capacity_bytes / 1e9:.0f}GB",
+    }
+    rows = [
+        [item, PAPER_SPEC[item], modelled[item]] for item in PAPER_SPEC
+    ]
+    report = text_table(["Item", "paper", "modelled default"], rows, title=TITLE)
+    return ExperimentOutcome(
+        experiment="fig5", title=TITLE, comparisons=[], report=report
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Figure 6: normalized throughput, synthetic workloads, uniform offsets."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import normalized_throughput_table, throughput_bar_chart
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.experiments.synthetic_suite import run_suite
+
+TITLE = "Fig. 6: Normalized throughput, synthetic workloads, uniform distribution"
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    comparisons = run_suite("uniform", scale)
+    report = normalized_throughput_table(comparisons, TITLE + f" [scale={scale.name}]")
+    report += "\n\n" + throughput_bar_chart(comparisons, "Fig. 6 (chart)")
+    return ExperimentOutcome(
+        experiment="fig6", title=TITLE, comparisons=comparisons, report=report
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

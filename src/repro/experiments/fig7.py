@@ -1,0 +1,28 @@
+"""Figure 7: normalized throughput, synthetic workloads, zipfian offsets."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import normalized_throughput_table, throughput_bar_chart
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.experiments.synthetic_suite import run_suite
+
+TITLE = "Fig. 7: Normalized throughput, synthetic workloads, zipfian distribution"
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    comparisons = run_suite("zipfian", scale)
+    report = normalized_throughput_table(comparisons, TITLE + f" [scale={scale.name}]")
+    report += "\n\n" + throughput_bar_chart(comparisons, "Fig. 7 (chart)")
+    return ExperimentOutcome(
+        experiment="fig7", title=TITLE, comparisons=comparisons, report=report
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

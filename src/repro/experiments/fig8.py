@@ -1,0 +1,60 @@
+"""Figure 8: mean read latency vs request size (workload E, uniform).
+
+Sweeps request sizes 8 B .. 4 KiB on every system and reports the mean
+queue-depth-1 read latency.  The paper's anchors: Pipette ~2 us (cache
+hits), 2B-SSD MMIO growing linearly (non-posted 8 B loads) and crossing
+Pipette-w/o-cache near 32 B and 2B-SSD DMA near 1 KiB.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import SYSTEM_ORDER, ExperimentOutcome, WorkloadComparison
+from repro.analysis.report import latency_line_chart, latency_table
+from repro.experiments.runner import run_trace_on
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.workloads.synthetic import SyntheticConfig, size_sweep_trace
+
+TITLE = "Fig. 8: Read latency (us) vs request size, workload E, uniform distribution"
+
+SIZES = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    config = scale.sim_config()
+    latencies_us: dict[str, dict[int, float]] = {name: {} for name in SYSTEM_ORDER}
+    p99_us: dict[str, dict[int, float]] = {name: {} for name in SYSTEM_ORDER}
+    comparisons: list[WorkloadComparison] = []
+    for size in SIZES:
+        base = SyntheticConfig(
+            workload="E",
+            distribution="uniform",
+            requests=scale.sweep_requests,
+            file_size=scale.synthetic_file_bytes,
+        )
+        trace = size_sweep_trace(base, size)
+        results = {name: run_trace_on(name, trace, config) for name in SYSTEM_ORDER}
+        for name, result in results.items():
+            latencies_us[name][size] = result.mean_latency_ns / 1_000.0
+            p99_us[name][size] = result.latency.p99_ns / 1_000.0
+        comparisons.append(WorkloadComparison(workload=f"{size}B", results=results))
+    report = latency_table(SIZES, latencies_us, TITLE + f" [scale={scale.name}]")
+    report += "\n\n" + latency_line_chart(SIZES, latencies_us, "Fig. 8 (chart)")
+    report += "\n\n" + latency_table(
+        SIZES, p99_us, "Fig. 8 supplement: p99 read latency (us) by request size"
+    )
+    return ExperimentOutcome(
+        experiment="fig8",
+        title=TITLE,
+        comparisons=comparisons,
+        report=report,
+        extra={"latencies_us": latencies_us, "p99_us": p99_us, "sizes": SIZES},
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Figure 9: real-world applications — throughput (a) and I/O traffic (b)."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import normalized_throughput_table, traffic_table
+from repro.experiments.apps_suite import run_apps
+from repro.experiments.scale import ExperimentScale, get_scale
+
+TITLE = "Fig. 9: Real-world applications (recommender system, social graph)"
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    comparisons = run_apps(scale)
+    report = "\n\n".join(
+        [
+            normalized_throughput_table(
+                comparisons, f"Fig. 9(a): Normalized throughput [scale={scale.name}]"
+            ),
+            traffic_table(comparisons, f"Fig. 9(b): I/O traffic (MiB) [scale={scale.name}]"),
+        ]
+    )
+    return ExperimentOutcome(
+        experiment="fig9", title=TITLE, comparisons=comparisons, report=report
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Multi-seed statistical runs: mean +/- std over trace randomness.
+
+Single-trace results can ride one RNG stream's luck; this helper reruns
+a comparison over several workload seeds and aggregates the headline
+metrics, answering "how stable are the reproduction's numbers?"
+(`pipette-repro stability`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.metrics import ExperimentOutcome, WorkloadComparison
+from repro.analysis.report import text_table
+from repro.experiments.runner import run_comparison
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean and (population) standard deviation of one metric."""
+
+    mean: float
+    std: float
+    samples: int
+
+    @staticmethod
+    def of(values: list[float]) -> "MetricStats":
+        if not values:
+            return MetricStats(0.0, 0.0, 0)
+        mean = sum(values) / len(values)
+        variance = sum((value - mean) ** 2 for value in values) / len(values)
+        return MetricStats(mean=mean, std=math.sqrt(variance), samples=len(values))
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+
+def aggregate_comparisons(
+    comparisons: list[WorkloadComparison], system: str
+) -> dict[str, MetricStats]:
+    """Headline metric statistics for one system across seeded runs."""
+    return {
+        "normalized_throughput": MetricStats.of(
+            [comparison.normalized_throughput(system) for comparison in comparisons]
+        ),
+        "traffic_mib": MetricStats.of(
+            [comparison.traffic_mib(system) for comparison in comparisons]
+        ),
+        "mean_latency_us": MetricStats.of(
+            [comparison.mean_latency_us(system) for comparison in comparisons]
+        ),
+    }
+
+
+def run_seeded(
+    trace_factory: Callable[[int], Trace],
+    config,
+    *,
+    seeds: list[int],
+    systems: list[str],
+    workload_label: str,
+) -> list[WorkloadComparison]:
+    """One comparison per seed (fresh systems each time)."""
+    return [
+        run_comparison(
+            trace_factory(seed),
+            config,
+            systems=systems,
+            workload_label=f"{workload_label}#seed{seed}",
+        )
+        for seed in seeds
+    ]
+
+
+DEFAULT_SEEDS = [11, 23, 47, 91]
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    """Stability study on the headline workload (E, zipfian)."""
+    scale = scale or get_scale()
+    config = scale.sim_config()
+    systems = ["block-io", "pipette-nocache", "pipette"]
+
+    def factory(seed: int) -> Trace:
+        return synthetic_trace(
+            SyntheticConfig(
+                workload="E",
+                distribution="zipfian",
+                requests=scale.synthetic_requests // 2,
+                file_size=scale.synthetic_file_bytes,
+                seed=seed,
+            )
+        )
+
+    comparisons = run_seeded(
+        factory,
+        config,
+        seeds=DEFAULT_SEEDS,
+        systems=systems,
+        workload_label="E-zipf",
+    )
+    rows = []
+    for system in systems:
+        stats = aggregate_comparisons(comparisons, system)
+        rows.append(
+            [
+                system,
+                str(stats["normalized_throughput"]),
+                str(stats["traffic_mib"]),
+                str(stats["mean_latency_us"]),
+                f"{100 * stats['normalized_throughput'].cv:.1f}%",
+            ]
+        )
+    report = text_table(
+        ["System", "norm. throughput", "traffic MiB", "mean us", "throughput CV"],
+        rows,
+        title=(
+            f"Stability over {len(DEFAULT_SEEDS)} workload seeds "
+            f"[scale={scale.name}, workload E zipfian]"
+        ),
+    )
+    return ExperimentOutcome(
+        experiment="stability",
+        title="Multi-seed stability",
+        comparisons=comparisons,
+        report=report,
+        extra={
+            "seeds": DEFAULT_SEEDS,
+            "stats": {system: aggregate_comparisons(comparisons, system) for system in systems},
+        },
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Multi-tenant experiment: two applications share one Pipette instance.
+
+Interleaves the recommender's fixed 128 B lookups with the social
+graph's variable-size records on a single system.  The shared FGRC must
+balance slab classes across tenants — the drift scenario the paper's
+adaptive reassignment (§3.2.3) and dynamic allocation (§3.2.4) target —
+while each tenant still beats its block-I/O baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import text_table
+from repro.experiments.runner import run_comparison
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.workloads.mix import interleave
+from repro.workloads.recommender import RecommenderConfig, recommender_trace
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+
+TITLE = "Multi-tenant: recommender + social graph sharing one Pipette"
+
+SYSTEMS = ["block-io", "pipette-nocache", "pipette"]
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    config = scale.sim_config()
+    recommender = recommender_trace(
+        RecommenderConfig(
+            tables=scale.recsys_tables,
+            total_table_bytes=scale.recsys_table_bytes_total,
+            inferences=scale.recsys_inferences // 2,
+        )
+    )
+    social = social_graph_trace(
+        SocialGraphConfig(
+            nodes=scale.social_nodes, operations=scale.social_operations // 2
+        )
+    )
+    mixed = interleave([recommender, social], name="multi-tenant")
+    comparison = run_comparison(
+        mixed, config, systems=SYSTEMS, workload_label="multi-tenant"
+    )
+
+    pipette = comparison.result("pipette")
+    classes = pipette.cache_stats
+    rows = [
+        [
+            name,
+            f"{comparison.normalized_throughput(name):.2f}x",
+            f"{comparison.traffic_mib(name):.2f}",
+            f"{comparison.mean_latency_us(name):.1f}",
+        ]
+        for name in SYSTEMS
+    ]
+    report = text_table(
+        ["System", "norm. throughput", "traffic MiB", "mean us"],
+        rows,
+        title=TITLE + f" [scale={scale.name}]",
+    )
+    report += (
+        f"\n\nshared FGRC: hit ratio {100 * classes['fgrc_hit_ratio']:.1f}%, "
+        f"{classes['fgrc_resident_items']:.0f} resident items, "
+        f"{classes['fgrc_reassigned_slabs']:.0f} slabs reassigned, "
+        f"{classes['fgrc_migrated_slabs']:.0f} slabs migrated, "
+        f"threshold {classes['fgrc_threshold']:.0f}"
+    )
+    occupancy = comparison.result("pipette").cache_stats.get("_occupancy")
+    if occupancy:
+        occupancy_rows = [
+            [
+                f"{int(row['item_capacity'])} B",
+                int(row["slabs"]),
+                int(row["resident_items"]),
+                int(row["capacity_items"]),
+                int(row["evictions"]),
+            ]
+            for row in occupancy
+            if row["slabs"]
+        ]
+        report += "\n\n" + text_table(
+            ["class", "slabs", "resident", "capacity", "evictions"],
+            occupancy_rows,
+            title="Per-slab-class occupancy (both tenants' sizes share the pool)",
+        )
+    return ExperimentOutcome(
+        experiment="multitenant",
+        title=TITLE,
+        comparisons=[comparison],
+        report=report,
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,175 @@
+"""Queue-depth sweep: one queueing model explains Fig. 8 *and* Fig. 6.
+
+The paper reports queue-depth-1 latency (Fig. 8) and loaded throughput
+(Figs. 6/7/9); the harness derives them from a serial-latency view and
+a bottleneck busy-time view respectively.  This experiment closes the
+loop with event-level ground truth: it replays the per-request demand
+populations of Block I/O and Pipette (derived from a measured workload-E
+run: observed hit ratios applied to the calibrated timing model) through
+the closed-loop :class:`PipelineSimulator` at queue depths 1..64 and
+shows both views emerge from the same model —
+
+- at depth 1 the latency gap matches Fig. 8's;
+- at high depth the throughput ratio matches the bottleneck model used
+  for Fig. 6 (within a few percent).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.charts import line_chart
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import text_table
+from repro.experiments.runner import run_trace_on
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.sim.queueing import PipelineSimulator, RequestDemand
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+
+TITLE = "Queue-depth sweep: latency/throughput from one queueing model"
+
+DEPTHS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def _demand_population(
+    config,
+    *,
+    requests: int,
+    hit_ratio: float,
+    hit_host_ns: float,
+    miss_host_ns: float,
+    miss_nand_ns: float,
+    miss_pcie_ns: float,
+    seed: int,
+) -> list[RequestDemand]:
+    """Hit/miss mixture population for one system."""
+    rng = random.Random(seed)
+    demands: list[RequestDemand] = []
+    for index in range(requests):
+        if rng.random() < hit_ratio:
+            demands.append(RequestDemand(host_ns=hit_host_ns))
+        else:
+            demands.append(
+                RequestDemand(
+                    host_ns=miss_host_ns,
+                    nand_ns=miss_nand_ns,
+                    channel=rng.randrange(config.ssd.channels),
+                    pcie_ns=miss_pcie_ns,
+                )
+            )
+    return demands
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    config = scale.sim_config()
+    timing = config.timing
+    requests = min(scale.synthetic_requests, 20_000)
+
+    # Measure hit ratios on workload E (zipfian: both caches engage).
+    trace = synthetic_trace(
+        SyntheticConfig(
+            workload="E",
+            distribution="zipfian",
+            requests=requests,
+            file_size=scale.synthetic_file_bytes,
+        )
+    )
+    block = run_trace_on("block-io", trace, config)
+    pipette = run_trace_on("pipette", trace, config)
+
+    block_demands = _demand_population(
+        config,
+        requests=requests,
+        hit_ratio=block.cache_stats["page_cache_hit_ratio"],
+        hit_host_ns=timing.block_stack_ns + timing.page_cache_hit_ns,
+        miss_host_ns=timing.block_stack_ns + timing.block_layer_ns,
+        miss_nand_ns=timing.nand_read(config.ssd.nand_type)
+        + timing.channel_xfer_page_ns
+        + timing.block_page_penalty_ns,
+        miss_pcie_ns=timing.pcie_transfer_ns(config.ssd.page_size),
+        seed=1,
+    )
+    pipette_demands = _demand_population(
+        config,
+        requests=requests,
+        hit_ratio=pipette.cache_stats["fgrc_hit_ratio"],
+        hit_host_ns=timing.fine_stack_ns + timing.fgrc_hit_ns,
+        miss_host_ns=timing.fine_stack_ns + timing.fine_miss_host_ns,
+        miss_nand_ns=timing.nand_read(config.ssd.nand_type)
+        + timing.channel_xfer_page_ns,
+        miss_pcie_ns=timing.pcie_transfer_ns(128),
+        seed=2,
+    )
+
+    simulator = PipelineSimulator(
+        channels=config.ssd.channels, host_servers=timing.host_parallelism
+    )
+    rows = []
+    block_curve: list[float] = []
+    pipette_curve: list[float] = []
+    for depth in DEPTHS:
+        block_run = simulator.run(block_demands, queue_depth=depth)
+        pipette_run = simulator.run(pipette_demands, queue_depth=depth)
+        block_curve.append(block_run.throughput_ops)
+        pipette_curve.append(pipette_run.throughput_ops)
+        rows.append(
+            [
+                depth,
+                f"{block_run.mean_latency_ns / 1000:.1f}",
+                f"{pipette_run.mean_latency_ns / 1000:.1f}",
+                f"{block_run.throughput_ops:,.0f}",
+                f"{pipette_run.throughput_ops:,.0f}",
+                f"{pipette_run.throughput_ops / block_run.throughput_ops:.2f}x",
+            ]
+        )
+    block_prediction = simulator.bottleneck_prediction_ns(block_demands)
+    pipette_prediction = simulator.bottleneck_prediction_ns(pipette_demands)
+    # Convergence check at a depth deep enough to hide fill/drain and
+    # head-of-line admission effects.
+    convergence_depth = 512
+    convergence_block = simulator.run(block_demands, queue_depth=convergence_depth).total_ns
+    convergence_pipette = simulator.run(
+        pipette_demands, queue_depth=convergence_depth
+    ).total_ns
+
+    report = text_table(
+        ["QD", "block us", "pipette us", "block ops/s", "pipette ops/s", "gain"],
+        rows,
+        title=TITLE + f" [scale={scale.name}, workload E zipfian]",
+    )
+    report += "\n\n" + line_chart(
+        DEPTHS,
+        {"Block I/O": block_curve, "Pipette": pipette_curve},
+        title="Throughput vs queue depth (ops/s, simulated)",
+        log_x=True,
+        x_label="queue depth (log scale)",
+    )
+    report += (
+        f"\n\nbottleneck-model check at QD={convergence_depth}: "
+        f"block {convergence_block / block_prediction:.3f}x of prediction, "
+        f"pipette {convergence_pipette / pipette_prediction:.3f}x of prediction"
+    )
+    return ExperimentOutcome(
+        experiment="qd-sweep",
+        title=TITLE,
+        comparisons=[],
+        report=report,
+        extra={
+            "depths": DEPTHS,
+            "block_throughput": block_curve,
+            "pipette_throughput": pipette_curve,
+            "block_prediction_ns": block_prediction,
+            "pipette_prediction_ns": pipette_prediction,
+            "block_des_ns": convergence_block,
+            "pipette_des_ns": convergence_pipette,
+        },
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

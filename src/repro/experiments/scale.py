@@ -1,0 +1,140 @@
+"""Scaling presets: the paper's setup shrunk to laptop-runnable sizes.
+
+The paper issues 2.5 M requests against multi-GiB files on real
+hardware.  A pure-Python simulator reproduces shapes, not wall-clock,
+so request counts, file sizes and memory budgets are scaled together
+(preserving their *ratios*, which is what determines hit ratios and
+traffic shapes).  Select with ``REPRO_SCALE`` (tiny | small | default |
+paper) or pass a name explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.config import GIB, KIB, MIB, CacheConfig, SimConfig, SSDSpec
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs one experiment preset controls."""
+
+    name: str
+    # Synthetic (Table 1) workloads
+    synthetic_requests: int
+    synthetic_file_bytes: int
+    # Fig. 8 size sweep
+    sweep_requests: int
+    # Recommender system
+    recsys_inferences: int
+    recsys_tables: int
+    recsys_table_bytes_total: int
+    # Social graph
+    social_operations: int
+    social_nodes: int
+    # Host memory budgets
+    shared_memory_bytes: int
+    fgrc_bytes: int
+    #: Store and check payload bytes (slower; tests use tiny+data).
+    transfer_data: bool
+
+    def cache_config(self) -> CacheConfig:
+        return CacheConfig(
+            shared_memory_bytes=self.shared_memory_bytes,
+            fgrc_bytes=self.fgrc_bytes,
+        )
+
+    def sim_config(self) -> SimConfig:
+        cache = self.cache_config()
+        hmb_needed = cache.fgrc_bytes + cache.tempbuf_bytes + cache.info_area_entries * 12
+        spec = SSDSpec(mapping_region_bytes=max(64 * MIB, hmb_needed + MIB))
+        return SimConfig(ssd=spec, cache=cache, transfer_data=self.transfer_data)
+
+
+SCALES: dict[str, ExperimentScale] = {
+    # For unit/integration tests: seconds, with real payload bytes.
+    "tiny": ExperimentScale(
+        name="tiny",
+        synthetic_requests=2_000,
+        synthetic_file_bytes=8 * MIB,
+        sweep_requests=400,
+        recsys_inferences=250,
+        recsys_tables=4,
+        recsys_table_bytes_total=4 * MIB,
+        social_operations=2_000,
+        social_nodes=16_384,
+        shared_memory_bytes=1 * MIB,
+        fgrc_bytes=512 * KIB,
+        transfer_data=True,
+    ),
+    # For the pytest-benchmark suite: a couple of minutes end to end.
+    "small": ExperimentScale(
+        name="small",
+        synthetic_requests=20_000,
+        synthetic_file_bytes=32 * MIB,
+        sweep_requests=4_000,
+        recsys_inferences=2_500,
+        recsys_tables=8,
+        recsys_table_bytes_total=16 * MIB,
+        social_operations=20_000,
+        social_nodes=65_536,
+        shared_memory_bytes=4 * MIB,
+        fgrc_bytes=2 * MIB,
+        transfer_data=False,
+    ),
+    # For the CLI: richer statistics, still minutes.
+    "default": ExperimentScale(
+        name="default",
+        synthetic_requests=120_000,
+        synthetic_file_bytes=64 * MIB,
+        sweep_requests=12_000,
+        recsys_inferences=25_000,
+        recsys_tables=8,
+        recsys_table_bytes_total=32 * MIB,
+        social_operations=120_000,
+        social_nodes=262_144,
+        shared_memory_bytes=8 * MIB,
+        fgrc_bytes=8 * MIB,
+        transfer_data=False,
+    ),
+    # Paper-sized run (hours in pure Python; provided for completeness).
+    "paper": ExperimentScale(
+        name="paper",
+        synthetic_requests=2_500_000,
+        synthetic_file_bytes=1 * GIB,
+        sweep_requests=250_000,
+        recsys_inferences=312_500,
+        recsys_tables=8,
+        recsys_table_bytes_total=4 * GIB + 100 * MIB,  # the paper's 4.1 GB
+        social_operations=2_500_000,
+        social_nodes=1_048_576,
+        shared_memory_bytes=256 * MIB,
+        fgrc_bytes=96 * MIB,  # ~ the paper's 91 MB FGRC footprint
+        transfer_data=False,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a preset by argument, ``REPRO_SCALE``, or the default."""
+    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    scale = SCALES.get(chosen)
+    if scale is None:
+        raise KeyError(f"unknown scale {chosen!r}; choose from {sorted(SCALES)}")
+    return scale
+
+
+def sim_config(scale: ExperimentScale | str | None = None) -> SimConfig:
+    """Convenience: the SimConfig for a preset."""
+    if isinstance(scale, ExperimentScale):
+        return scale.sim_config()
+    return get_scale(scale).sim_config()
+
+
+def scaled(scale: ExperimentScale, **overrides: object) -> ExperimentScale:
+    """Copy a preset with fields replaced."""
+    return replace(scale, **overrides)  # type: ignore[arg-type]
+
+
+__all__ = ["SCALES", "ExperimentScale", "get_scale", "scaled", "sim_config"]

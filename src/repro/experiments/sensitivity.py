@@ -1,0 +1,99 @@
+"""Sensitivity: fine-grained read cache size vs hit ratio and traffic.
+
+The paper fixes the FGRC footprint (~91 MB on its platform); this
+extension sweeps the Data Area budget on the recommender workload to
+show the capacity/benefit curve — the practical "how much HMB should I
+give Pipette" question a deployer would ask.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.charts import line_chart
+from repro.analysis.metrics import ExperimentOutcome, WorkloadComparison
+from repro.analysis.report import text_table
+from repro.experiments.runner import run_trace_on
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.workloads.recommender import RecommenderConfig, recommender_trace
+
+TITLE = "Sensitivity: FGRC capacity vs hit ratio / traffic (recommender)"
+
+#: Sweep points as fractions of the scale's nominal FGRC budget.
+FRACTIONS = [0.125, 0.25, 0.5, 1.0, 2.0]
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    trace = recommender_trace(
+        RecommenderConfig(
+            tables=scale.recsys_tables,
+            total_table_bytes=scale.recsys_table_bytes_total,
+            inferences=scale.recsys_inferences,
+        )
+    )
+    base = scale.sim_config()
+    slab = base.cache.slab_bytes
+
+    sizes: list[int] = []
+    comparisons: list[WorkloadComparison] = []
+    rows: list[list[object]] = []
+    hit_curve: list[float] = []
+    traffic_curve: list[float] = []
+    for fraction in FRACTIONS:
+        fgrc_bytes = max(slab, int(scale.fgrc_bytes * fraction) // slab * slab)
+        # Dynamic allocation would grow a winning cache past the sweep
+        # point (its job!); disable it to isolate the capacity axis.
+        cache = dataclasses.replace(
+            base.cache, fgrc_bytes=fgrc_bytes, dynalloc_enabled=False
+        )
+        hmb_needed = fgrc_bytes + cache.tempbuf_bytes + cache.info_area_entries * 12
+        ssd = dataclasses.replace(
+            base.ssd, mapping_region_bytes=max(base.ssd.mapping_region_bytes, hmb_needed + slab)
+        )
+        config = base.scaled(cache=cache, ssd=ssd)
+        result = run_trace_on("pipette", trace, config)
+        sizes.append(fgrc_bytes)
+        hit_ratio = result.cache_stats["fgrc_hit_ratio"]
+        hit_curve.append(100 * hit_ratio)
+        traffic_curve.append(result.traffic_mib)
+        comparisons.append(
+            WorkloadComparison(workload=f"{fgrc_bytes // 1024} KiB", results={"pipette": result})
+        )
+        rows.append(
+            [
+                f"{fgrc_bytes / 2**20:.2f}",
+                f"{100 * hit_ratio:.1f}%",
+                f"{result.traffic_mib:.2f}",
+                f"{result.throughput_ops:,.0f}",
+                f"{result.cache_stats['fgrc_usage_bytes'] / 2**20:.2f}",
+            ]
+        )
+
+    report = text_table(
+        ["FGRC MiB", "hit ratio", "traffic MiB", "ops/s (sim)", "usage MiB"],
+        rows,
+        title=TITLE + f" [scale={scale.name}]",
+    )
+    report += "\n\n" + line_chart(
+        [size / 2**20 for size in sizes],
+        {"hit ratio (%)": hit_curve, "traffic (MiB)": traffic_curve},
+        title="FGRC capacity sweep",
+        log_x=True,
+        x_label="FGRC data area (MiB, log scale)",
+    )
+    return ExperimentOutcome(
+        experiment="sensitivity",
+        title=TITLE,
+        comparisons=comparisons,
+        report=report,
+        extra={"sizes": sizes, "hit_curve": hit_curve, "traffic_curve": traffic_curve},
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Shared runner for the Table 1 synthetic workloads (A-E).
+
+Figure 6 + Table 2 consume the uniform sweep, Figure 7 + Table 3 the
+zipfian sweep; results are memoized per (distribution, scale) so the
+CLI's ``all`` mode runs each sweep once.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import WorkloadComparison
+from repro.experiments.runner import run_comparison
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+
+_CACHE: dict[tuple[str, str], list[WorkloadComparison]] = {}
+
+
+def run_suite(
+    distribution: str,
+    scale: ExperimentScale | None = None,
+    *,
+    use_cache: bool = True,
+) -> list[WorkloadComparison]:
+    """Run all five mixes under one offset distribution."""
+    scale = scale or get_scale()
+    key = (distribution, scale.name)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    config = scale.sim_config()
+    comparisons: list[WorkloadComparison] = []
+    for workload in ("A", "B", "C", "D", "E"):
+        trace = synthetic_trace(
+            SyntheticConfig(
+                workload=workload,
+                distribution=distribution,
+                requests=scale.synthetic_requests,
+                file_size=scale.synthetic_file_bytes,
+            )
+        )
+        comparisons.append(run_comparison(trace, config, workload_label=workload))
+    if use_cache:
+        _CACHE[key] = comparisons
+    return comparisons
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+__all__ = ["clear_cache", "run_suite"]

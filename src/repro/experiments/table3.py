@@ -1,0 +1,27 @@
+"""Table 3: I/O traffic (MiB), synthetic workloads, zipfian offsets."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import traffic_table
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.experiments.synthetic_suite import run_suite
+
+TITLE = "Table 3: I/O traffic (MiB), synthetic workloads, zipfian distribution"
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    comparisons = run_suite("zipfian", scale)
+    report = traffic_table(comparisons, TITLE + f" [scale={scale.name}]")
+    return ExperimentOutcome(
+        experiment="table3", title=TITLE, comparisons=comparisons, report=report
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

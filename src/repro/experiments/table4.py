@@ -1,0 +1,27 @@
+"""Table 4: page cache vs fine-grained read cache (hit ratio, memory)."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import cache_table
+from repro.experiments.apps_suite import run_apps
+from repro.experiments.scale import ExperimentScale, get_scale
+
+TITLE = "Table 4: Page cache vs fine-grained read cache"
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    comparisons = run_apps(scale)
+    report = cache_table(comparisons, TITLE + f" [scale={scale.name}]")
+    return ExperimentOutcome(
+        experiment="table4", title=TITLE, comparisons=comparisons, report=report
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,197 @@
+"""Automated validation: does this build still reproduce the paper?
+
+Runs every experiment at the requested scale and checks the qualitative
+claims of the paper (orderings, identities, crossovers) programmatically,
+emitting a PASS/FAIL table.  This is the one-command answer to "is the
+reproduction intact?" — `pipette-repro validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import ExperimentOutcome
+from repro.analysis.report import text_table
+from repro.experiments import fig8
+from repro.experiments.apps_suite import run_apps
+from repro.experiments.scale import ExperimentScale, get_scale
+from repro.experiments.synthetic_suite import run_suite
+
+
+@dataclass(frozen=True)
+class Check:
+    """One validated claim."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _by(comparisons, workload):
+    return next(item for item in comparisons if item.workload == workload)
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
+    scale = scale or get_scale()
+    uniform = run_suite("uniform", scale)
+    zipfian = run_suite("zipfian", scale)
+    latencies = fig8.run(scale).extra["latencies_us"]
+    apps = run_apps(scale)
+
+    checks: list[Check] = []
+
+    def check(name: str, passed: bool, detail: str) -> None:
+        checks.append(Check(name=name, passed=bool(passed), detail=detail))
+
+    # --- Table 2/3 identities ---------------------------------------
+    identity_ok = all(
+        comparison.result(system).traffic_bytes
+        == comparison.result("block-io").demanded_bytes
+        for suite in (uniform, zipfian)
+        for comparison in suite
+        for system in ("2b-ssd-mmio", "2b-ssd-dma", "pipette-nocache")
+    )
+    check(
+        "tables 2/3: no-cache traffic == requested bytes",
+        identity_ok,
+        "exact byte identity across A-E, both distributions",
+    )
+
+    block_uniform = [c.result("block-io").traffic_bytes for c in uniform]
+    spread = (max(block_uniform) - min(block_uniform)) / max(block_uniform)
+    check(
+        "table 2: block traffic independent of size mix",
+        spread < 0.15,
+        f"relative spread {spread:.3f}",
+    )
+
+    pipette_uniform = [c.result("pipette").traffic_bytes for c in uniform]
+    check(
+        "table 2: pipette traffic monotone A >= ... >= E",
+        pipette_uniform == sorted(pipette_uniform, reverse=True),
+        "monotone decrease with small-read ratio",
+    )
+    check(
+        "table 2: pipette == block on pure-large A",
+        pipette_uniform[0] <= block_uniform[0] * 1.02,
+        f"{pipette_uniform[0] / max(block_uniform[0], 1):.3f}x of block",
+    )
+    check(
+        "table 3 vs 2: zipf locality cuts block traffic",
+        _by(zipfian, "E").result("block-io").traffic_bytes
+        < _by(uniform, "E").result("block-io").traffic_bytes,
+        "block(E, zipf) < block(E, uniform)",
+    )
+    check(
+        "table 3: pipette cache cuts traffic below no-cache",
+        _by(zipfian, "E").result("pipette").traffic_bytes
+        < _by(zipfian, "E").result("pipette-nocache").traffic_bytes,
+        "pipette(E, zipf) < no-cache(E, zipf)",
+    )
+
+    # --- Fig. 6/7 orderings -------------------------------------------
+    check(
+        "fig 6: pipette costs nothing on workload A",
+        _by(uniform, "A").normalized_throughput("pipette") > 0.95,
+        f"{_by(uniform, 'A').normalized_throughput('pipette'):.2f}x",
+    )
+    check(
+        "fig 6: pipette wins workload E",
+        _by(uniform, "E").normalized_throughput("pipette") > 1.0,
+        f"{_by(uniform, 'E').normalized_throughput('pipette'):.2f}x",
+    )
+    check(
+        "fig 6: MMIO degrades with large reads",
+        _by(uniform, "A").normalized_throughput("2b-ssd-mmio")
+        < _by(uniform, "E").normalized_throughput("2b-ssd-mmio"),
+        "MMIO(A) < MMIO(E)",
+    )
+    fig7_values = [c.normalized_throughput("pipette") for c in zipfian]
+    check(
+        "fig 7: pipette gains grow with small ratio (zipf)",
+        fig7_values[-1] >= fig7_values[0] and fig7_values[-1] > 1.05,
+        f"A {fig7_values[0]:.2f}x -> E {fig7_values[-1]:.2f}x (paper 1.1-1.4x)",
+    )
+
+    # --- Fig. 8 anchors ----------------------------------------------------
+    gap_block_dma = latencies["block-io"][128] - latencies["2b-ssd-dma"][128]
+    check(
+        "fig 8: block slower than 2B-SSD DMA",
+        5.0 < gap_block_dma < 45.0,
+        f"gap {gap_block_dma:.1f} us (paper 14.56-38.89)",
+    )
+    gap_dma_nocache = latencies["2b-ssd-dma"][128] - latencies["pipette-nocache"][128]
+    check(
+        "fig 8: per-access DMA mapping costs ~23 us",
+        15.0 < gap_dma_nocache < 30.0,
+        f"gap {gap_dma_nocache:.1f} us (paper 21.79-25.06)",
+    )
+    check(
+        "fig 8: MMIO crosses byte path near 32 B",
+        latencies["2b-ssd-mmio"][8] < latencies["pipette-nocache"][8] + 2.0
+        and latencies["2b-ssd-mmio"][512] > latencies["pipette-nocache"][512],
+        "cheap at 8 B, losing by 512 B",
+    )
+    check(
+        "fig 8: MMIO crosses 2B-SSD DMA near 1 KiB",
+        latencies["2b-ssd-mmio"][512] < latencies["2b-ssd-dma"][512]
+        and latencies["2b-ssd-mmio"][2048] > latencies["2b-ssd-dma"][2048],
+        "crossover within (512 B, 2 KiB)",
+    )
+
+    # --- Fig. 9 / Table 4 -----------------------------------------------------
+    for comparison in apps:
+        check(
+            f"fig 9a: pipette beats block I/O ({comparison.workload})",
+            comparison.normalized_throughput("pipette") > 1.0,
+            f"{comparison.normalized_throughput('pipette'):.2f}x (paper ~1.32x)",
+        )
+        reduction = 1.0 - (
+            comparison.result("pipette").traffic_bytes
+            / comparison.result("block-io").traffic_bytes
+        )
+        check(
+            f"fig 9b: pipette slashes I/O traffic ({comparison.workload})",
+            reduction > 0.75,
+            f"-{100 * reduction:.1f}% (paper -95.6%/-93.6%)",
+        )
+        check(
+            f"fig 1/9: no-cache byte path loses throughput ({comparison.workload})",
+            comparison.normalized_throughput("pipette-nocache") < 1.0,
+            f"{comparison.normalized_throughput('pipette-nocache'):.2f}x",
+        )
+        fgrc = comparison.result("pipette").cache_stats["fgrc_usage_bytes"]
+        page = comparison.result("block-io").cache_stats["page_cache_peak_bytes"]
+        check(
+            f"table 4: FGRC uses less memory than page cache ({comparison.workload})",
+            fgrc < page,
+            f"{fgrc / 2**20:.1f} vs {page / 2**20:.1f} MiB",
+        )
+
+    rows = [
+        ["PASS" if item.passed else "FAIL", item.name, item.detail] for item in checks
+    ]
+    passed = sum(item.passed for item in checks)
+    report = text_table(
+        ["verdict", "claim", "measured"],
+        rows,
+        title=(
+            f"Validation vs paper claims [scale={scale.name}]: "
+            f"{passed}/{len(checks)} passed"
+        ),
+    )
+    return ExperimentOutcome(
+        experiment="validate",
+        title="Paper-claim validation",
+        comparisons=list(uniform) + list(zipfian) + list(apps),
+        report=report,
+        extra={"checks": checks, "passed": passed, "total": len(checks)},
+    )
+
+
+def main() -> None:
+    print(run().report)
+
+
+if __name__ == "__main__":
+    main()

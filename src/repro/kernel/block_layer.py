@@ -1,0 +1,64 @@
+"""Generic block layer: request building, sorting and merging.
+
+Takes the page-granular LBAs a read needs, sorts them and merges
+physically contiguous runs into single block requests — the request
+queue behaviour the conventional path pays for and the fine-grained
+path deliberately bypasses (paper section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BlockRequest:
+    """One merged request: ``count`` pages starting at ``lba``."""
+
+    lba: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("empty block request")
+
+
+@dataclass
+class BlockLayer:
+    """Request queue front-end with merge statistics."""
+
+    requests_submitted: int = 0
+    pages_submitted: int = 0
+    merges: int = 0
+    _log: list[BlockRequest] = field(default_factory=list, repr=False)
+    keep_log: bool = False
+
+    def build_requests(self, lbas: list[int]) -> list[BlockRequest]:
+        """Sort and merge page LBAs into contiguous block requests."""
+        if not lbas:
+            return []
+        ordered = sorted(set(lbas))
+        requests: list[BlockRequest] = []
+        run_start = ordered[0]
+        run_length = 1
+        for lba in ordered[1:]:
+            if lba == run_start + run_length:
+                run_length += 1
+                self.merges += 1
+            else:
+                requests.append(BlockRequest(run_start, run_length))
+                run_start = lba
+                run_length = 1
+        requests.append(BlockRequest(run_start, run_length))
+        self.requests_submitted += len(requests)
+        self.pages_submitted += len(ordered)
+        if self.keep_log:
+            self._log.extend(requests)
+        return requests
+
+    @property
+    def log(self) -> list[BlockRequest]:
+        return list(self._log)
+
+
+__all__ = ["BlockLayer", "BlockRequest"]

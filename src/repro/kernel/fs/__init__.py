@@ -1,0 +1,16 @@
+"""Extent-based Ext4-like file system used by every simulated system."""
+
+from repro.kernel.fs.allocator import BlockAllocator
+from repro.kernel.fs.ext4 import ExtentFileSystem, FileRange
+from repro.kernel.fs.extent import Extent, ExtentTree
+from repro.kernel.fs.inode import Inode, InodeType
+
+__all__ = [
+    "BlockAllocator",
+    "Extent",
+    "ExtentFileSystem",
+    "ExtentTree",
+    "FileRange",
+    "Inode",
+    "InodeType",
+]

@@ -1,0 +1,96 @@
+"""First-fit LBA allocator with free-extent coalescing.
+
+Manages the device's logical block address space for the file system.
+Free space is a sorted list of ``(start, length)`` runs; allocation is
+first-fit (keeping large files mostly contiguous, as Ext4's multiblock
+allocator would), and frees merge with their neighbours.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class BlockAllocator:
+    """Allocates runs of LBAs (page-granular blocks)."""
+
+    def __init__(self, total_blocks: int, reserved: int = 0) -> None:
+        if total_blocks <= reserved:
+            raise ValueError("no allocatable blocks")
+        self.total_blocks = total_blocks
+        self.reserved = reserved
+        self._free: list[tuple[int, int]] = [(reserved, total_blocks - reserved)]
+        self.allocated_blocks = 0
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(length for _, length in self._free)
+
+    def allocate(self, count: int) -> int:
+        """Allocate ``count`` contiguous blocks; returns the first LBA."""
+        if count <= 0:
+            raise ValueError("allocation size must be positive")
+        for index, (start, length) in enumerate(self._free):
+            if length >= count:
+                if length == count:
+                    self._free.pop(index)
+                else:
+                    self._free[index] = (start + count, length - count)
+                self.allocated_blocks += count
+                return start
+        raise MemoryError(f"no contiguous run of {count} blocks available")
+
+    def allocate_best_effort(self, count: int) -> list[tuple[int, int]]:
+        """Allocate ``count`` blocks as one or more runs (fragmentation-safe)."""
+        runs: list[tuple[int, int]] = []
+        remaining = count
+        while remaining > 0:
+            if not self._free:
+                # Roll back partial allocation before failing.
+                for start, length in runs:
+                    self.free(start, length)
+                raise MemoryError(f"out of space allocating {count} blocks")
+            start, length = self._free[0]
+            take = min(length, remaining)
+            if take == length:
+                self._free.pop(0)
+            else:
+                self._free[0] = (start + take, length - take)
+            self.allocated_blocks += take
+            runs.append((start, take))
+            remaining -= take
+        return runs
+
+    def free(self, start: int, count: int) -> None:
+        """Return a run to the free pool, coalescing with neighbours."""
+        if count <= 0:
+            raise ValueError("free size must be positive")
+        if start < self.reserved or start + count > self.total_blocks:
+            raise ValueError(f"free of [{start}, {start + count}) outside volume")
+        index = bisect.bisect_left(self._free, (start, 0))
+        if index > 0:
+            prev_start, prev_len = self._free[index - 1]
+            if prev_start + prev_len > start:
+                raise ValueError("double free (overlaps previous run)")
+        if index < len(self._free):
+            next_start, _ = self._free[index]
+            if start + count > next_start:
+                raise ValueError("double free (overlaps next run)")
+        self._free.insert(index, (start, count))
+        self.allocated_blocks -= count
+        self._coalesce(max(index - 1, 0))
+
+    def _coalesce(self, index: int) -> None:
+        while index + 1 < len(self._free):
+            start, length = self._free[index]
+            next_start, next_length = self._free[index + 1]
+            if start + length == next_start:
+                self._free[index] = (start, length + next_length)
+                self._free.pop(index + 1)
+            else:
+                if next_start > start + length:
+                    break
+                index += 1
+
+
+__all__ = ["BlockAllocator"]

@@ -1,0 +1,111 @@
+"""Extents and the per-inode extent tree (file page -> device LBA).
+
+An extent maps a contiguous run of *logical file pages* to a contiguous
+run of *device LBAs*, exactly like Ext4's extent records.  The tree is a
+sorted list with bisect lookup — logarithmic queries with trivial code,
+sufficient for the extent counts this simulation produces.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Extent:
+    """A contiguous logical-page -> LBA mapping."""
+
+    logical_start: int
+    physical_start: int = field(compare=False)
+    length: int = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.logical_start < 0 or self.physical_start < 0:
+            raise ValueError("extent starts must be non-negative")
+        if self.length <= 0:
+            raise ValueError("extent length must be positive")
+
+    @property
+    def logical_end(self) -> int:
+        """One past the last logical page covered."""
+        return self.logical_start + self.length
+
+    def contains(self, logical_page: int) -> bool:
+        return self.logical_start <= logical_page < self.logical_end
+
+    def translate(self, logical_page: int) -> int:
+        """LBA backing ``logical_page`` (must be inside the extent)."""
+        if not self.contains(logical_page):
+            raise ValueError(f"page {logical_page} outside extent {self}")
+        return self.physical_start + (logical_page - self.logical_start)
+
+
+class ExtentTree:
+    """Sorted, non-overlapping extent collection for one inode."""
+
+    def __init__(self) -> None:
+        self._extents: list[Extent] = []
+        self._starts: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self):
+        return iter(self._extents)
+
+    @property
+    def mapped_pages(self) -> int:
+        return sum(extent.length for extent in self._extents)
+
+    def insert(self, extent: Extent) -> None:
+        """Insert an extent; rejects any overlap with existing ones."""
+        index = bisect.bisect_left(self._starts, extent.logical_start)
+        if index > 0:
+            previous = self._extents[index - 1]
+            if previous.logical_end > extent.logical_start:
+                raise ValueError(f"extent {extent} overlaps {previous}")
+        if index < len(self._extents):
+            following = self._extents[index]
+            if extent.logical_end > following.logical_start:
+                raise ValueError(f"extent {extent} overlaps {following}")
+        # Coalesce with the previous extent when both ranges are adjacent.
+        if index > 0:
+            previous = self._extents[index - 1]
+            if (
+                previous.logical_end == extent.logical_start
+                and previous.physical_start + previous.length == extent.physical_start
+            ):
+                merged = Extent(
+                    previous.logical_start,
+                    previous.physical_start,
+                    previous.length + extent.length,
+                )
+                self._extents[index - 1] = merged
+                return
+        self._extents.insert(index, extent)
+        self._starts.insert(index, extent.logical_start)
+
+    def find(self, logical_page: int) -> Extent | None:
+        """Extent covering ``logical_page``, or None when unmapped (hole)."""
+        index = bisect.bisect_right(self._starts, logical_page) - 1
+        if index < 0:
+            return None
+        extent = self._extents[index]
+        return extent if extent.contains(logical_page) else None
+
+    def translate(self, logical_page: int) -> int:
+        """LBA of a logical page; raises KeyError on a hole."""
+        extent = self.find(logical_page)
+        if extent is None:
+            raise KeyError(f"page {logical_page} is a hole")
+        return extent.translate(logical_page)
+
+    def last_mapped_page(self) -> int:
+        """Highest mapped logical page; -1 when empty."""
+        if not self._extents:
+            return -1
+        return self._extents[-1].logical_end - 1
+
+
+__all__ = ["Extent", "ExtentTree"]

@@ -1,0 +1,43 @@
+"""Inodes for the simulated extent file system."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.kernel.fs.extent import ExtentTree
+
+
+class InodeType(enum.Enum):
+    FILE = "file"
+    DIRECTORY = "directory"
+
+
+@dataclass
+class Inode:
+    """On-disk metadata of one file or directory."""
+
+    ino: int
+    itype: InodeType
+    size: int = 0
+    nlink: int = 1
+    extents: ExtentTree = field(default_factory=ExtentTree)
+    #: Directory entries (name -> ino) for directory inodes.
+    entries: dict[str, int] = field(default_factory=dict)
+    #: Open-time flags observed on this inode (e.g. O_FINE_GRAINED).
+    open_flags: int = 0
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype is InodeType.DIRECTORY
+
+    def require_file(self) -> None:
+        if self.is_dir:
+            raise IsADirectoryError(f"inode {self.ino} is a directory")
+
+    def require_dir(self) -> None:
+        if not self.is_dir:
+            raise NotADirectoryError(f"inode {self.ino} is not a directory")
+
+
+__all__ = ["Inode", "InodeType"]

@@ -1,0 +1,201 @@
+"""Metadata journaling and crash recovery for the extent file system.
+
+Models Ext4's default *ordered* journalling mode at the level this
+simulation needs: every namespace/size mutation (create, mkdir,
+truncate, rename, unlink) is logged as a transaction and applied to the
+in-memory structures only when used through
+:class:`JournaledFileSystem`; a crash discards uncommitted
+transactions, and recovery replays the committed log onto a fresh file
+system, reproducing exactly the durable namespace.  Data blocks are not
+journaled (ordered mode) — their durability is the page cache +
+writeback path's job, tested separately.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.kernel.fs.ext4 import ExtentFileSystem
+
+
+class JournalOp(enum.Enum):
+    CREATE = "create"
+    MKDIR = "mkdir"
+    TRUNCATE = "truncate"
+    RENAME = "rename"
+    UNLINK = "unlink"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One logged mutation."""
+
+    txid: int
+    op: JournalOp
+    path: str
+    #: TRUNCATE: new size; CREATE: initial size; others unused.
+    size: int = 0
+    #: RENAME: destination path.
+    new_path: str = ""
+
+
+@dataclass
+class Journal:
+    """Write-ahead metadata log with explicit transaction boundaries."""
+
+    _txids: itertools.count = field(default_factory=lambda: itertools.count(1))
+    _open: dict[int, list[JournalRecord]] = field(default_factory=dict)
+    _committed: list[JournalRecord] = field(default_factory=list)
+    commits: int = 0
+    aborts: int = 0
+
+    def begin(self) -> int:
+        txid = next(self._txids)
+        self._open[txid] = []
+        return txid
+
+    def log(self, record: JournalRecord) -> None:
+        if record.txid not in self._open:
+            raise ValueError(f"transaction {record.txid} is not open")
+        self._open[record.txid].append(record)
+
+    def commit(self, txid: int) -> None:
+        records = self._open.pop(txid, None)
+        if records is None:
+            raise ValueError(f"transaction {txid} is not open")
+        self._committed.extend(records)
+        self.commits += 1
+
+    def abort(self, txid: int) -> None:
+        if self._open.pop(txid, None) is None:
+            raise ValueError(f"transaction {txid} is not open")
+        self.aborts += 1
+
+    def crash(self) -> list[JournalRecord]:
+        """Simulate power loss: open transactions vanish."""
+        self._open.clear()
+        return list(self._committed)
+
+    @property
+    def committed(self) -> list[JournalRecord]:
+        return list(self._committed)
+
+
+class JournaledFileSystem:
+    """Extent file system whose metadata mutations are journaled."""
+
+    def __init__(self, total_pages: int, page_size: int = 4096) -> None:
+        self._geometry = (total_pages, page_size)
+        self.fs = ExtentFileSystem(total_pages=total_pages, page_size=page_size)
+        self.journal = Journal()
+
+    # --- journaled mutations ----------------------------------------------
+    def create(self, path: str, size: int = 0):
+        txid = self.journal.begin()
+        self.journal.log(JournalRecord(txid, JournalOp.CREATE, path, size=size))
+        try:
+            inode = self.fs.create(path, size)
+        except Exception:
+            self.journal.abort(txid)
+            raise
+        self.journal.commit(txid)
+        return inode
+
+    def mkdir(self, path: str):
+        txid = self.journal.begin()
+        self.journal.log(JournalRecord(txid, JournalOp.MKDIR, path))
+        try:
+            inode = self.fs.mkdir(path)
+        except Exception:
+            self.journal.abort(txid)
+            raise
+        self.journal.commit(txid)
+        return inode
+
+    def truncate(self, path: str, size: int) -> None:
+        txid = self.journal.begin()
+        self.journal.log(JournalRecord(txid, JournalOp.TRUNCATE, path, size=size))
+        try:
+            self.fs.truncate(self.fs.lookup(path), size)
+        except Exception:
+            self.journal.abort(txid)
+            raise
+        self.journal.commit(txid)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        txid = self.journal.begin()
+        self.journal.log(
+            JournalRecord(txid, JournalOp.RENAME, old_path, new_path=new_path)
+        )
+        try:
+            self.fs.rename(old_path, new_path)
+        except Exception:
+            self.journal.abort(txid)
+            raise
+        self.journal.commit(txid)
+
+    def unlink(self, path: str) -> None:
+        txid = self.journal.begin()
+        self.journal.log(JournalRecord(txid, JournalOp.UNLINK, path))
+        try:
+            self.fs.unlink(path)
+        except Exception:
+            self.journal.abort(txid)
+            raise
+        self.journal.commit(txid)
+
+    # --- reads pass through -----------------------------------------------
+    def lookup(self, path: str):
+        return self.fs.lookup(path)
+
+    def exists(self, path: str) -> bool:
+        return self.fs.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.fs.listdir(path)
+
+    def stat(self, path: str):
+        return self.fs.stat(path)
+
+    # --- crash / recovery -----------------------------------------------------
+    def crash_and_recover(self) -> "JournaledFileSystem":
+        """Power-fail, then replay the committed log on a fresh volume."""
+        committed = self.journal.crash()
+        recovered = JournaledFileSystem(*self._geometry)
+        for record in committed:
+            replay_record(recovered.fs, record)
+        # The recovered journal starts after the replayed history.
+        recovered.journal._committed.extend(committed)
+        return recovered
+
+
+def replay_record(fs: ExtentFileSystem, record: JournalRecord) -> None:
+    """Apply one committed record during recovery (idempotent-friendly)."""
+    if record.op is JournalOp.CREATE:
+        if not fs.exists(record.path):
+            fs.create(record.path, record.size)
+    elif record.op is JournalOp.MKDIR:
+        if not fs.exists(record.path):
+            fs.mkdir(record.path)
+    elif record.op is JournalOp.TRUNCATE:
+        inode = fs.lookup(record.path)
+        if record.size > inode.size:
+            fs.truncate(inode, record.size)
+    elif record.op is JournalOp.RENAME:
+        fs.rename(record.path, record.new_path)
+    elif record.op is JournalOp.UNLINK:
+        if fs.exists(record.path):
+            fs.unlink(record.path)
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown journal op {record.op}")
+
+
+__all__ = [
+    "Journal",
+    "JournalOp",
+    "JournalRecord",
+    "JournaledFileSystem",
+    "replay_record",
+]

@@ -1,0 +1,141 @@
+"""Page cache: page-granular LRU cache over file contents.
+
+The conventional read path promotes every accessed (and read-ahead)
+page here — the behaviour whose pollution-by-fine-grained-reads the
+paper targets.  Capacity is dynamic: Pipette's dynamic allocation
+strategy (paper section 3.2.4) can shrink the page-cache budget to
+grow the fine-grained read cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.stats import HitMissCounter
+
+
+@dataclass
+class CachedPage:
+    """One resident page frame."""
+
+    content: bytes | None
+    dirty: bool = False
+
+
+@dataclass
+class PageCache:
+    """LRU page cache keyed by ``(ino, page_index)``."""
+
+    capacity_bytes: int
+    page_size: int = 4096
+    #: Called with (ino, page_index, content) when a dirty page is evicted.
+    writeback: Callable[[int, int, bytes | None], None] | None = None
+    _pages: OrderedDict[tuple[int, int], CachedPage] = field(default_factory=OrderedDict)
+    counter: HitMissCounter = field(default_factory=HitMissCounter)
+    evictions: int = 0
+    insertions: int = 0
+    peak_usage_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < self.page_size:
+            raise ValueError("page cache smaller than one page")
+
+    # --- capacity ---------------------------------------------------------
+    @property
+    def capacity_pages(self) -> int:
+        return self.capacity_bytes // self.page_size
+
+    @property
+    def usage_bytes(self) -> int:
+        return len(self._pages) * self.page_size
+
+    def set_capacity(self, capacity_bytes: int) -> int:
+        """Resize the budget; returns the number of pages evicted."""
+        if capacity_bytes < self.page_size:
+            raise ValueError("page cache smaller than one page")
+        self.capacity_bytes = capacity_bytes
+        return self._evict_to_fit()
+
+    # --- lookup / insert -----------------------------------------------------
+    def lookup(self, ino: int, page_index: int) -> CachedPage | None:
+        """LRU-promoting lookup; counts a hit or miss."""
+        key = (ino, page_index)
+        page = self._pages.get(key)
+        if page is None:
+            self.counter.miss()
+            return None
+        self._pages.move_to_end(key)
+        self.counter.hit()
+        return page
+
+    def peek(self, ino: int, page_index: int) -> CachedPage | None:
+        """Lookup without LRU promotion or hit/miss accounting."""
+        return self._pages.get((ino, page_index))
+
+    def insert(self, ino: int, page_index: int, content: bytes | None, *, dirty: bool = False) -> None:
+        """Install (or refresh) a page, evicting LRU pages to fit."""
+        key = (ino, page_index)
+        existing = self._pages.get(key)
+        if existing is not None:
+            existing.content = content
+            existing.dirty = existing.dirty or dirty
+            self._pages.move_to_end(key)
+            return
+        self._pages[key] = CachedPage(content=content, dirty=dirty)
+        self.insertions += 1
+        self.peak_usage_bytes = max(self.peak_usage_bytes, self.usage_bytes)
+        self._evict_to_fit()
+
+    def mark_dirty(self, ino: int, page_index: int) -> None:
+        page = self._pages.get((ino, page_index))
+        if page is None:
+            raise KeyError((ino, page_index))
+        page.dirty = True
+
+    def invalidate(self, ino: int, page_index: int) -> bool:
+        """Drop one page (without writeback); True when it was present."""
+        return self._pages.pop((ino, page_index), None) is not None
+
+    def invalidate_file(self, ino: int) -> int:
+        """Drop every page of a file; returns the count dropped."""
+        keys = [key for key in self._pages if key[0] == ino]
+        for key in keys:
+            del self._pages[key]
+        return len(keys)
+
+    def dirty_pages(self, ino: int | None = None) -> list[tuple[int, int]]:
+        """Keys of dirty pages (optionally restricted to one file)."""
+        return [
+            key
+            for key, page in self._pages.items()
+            if page.dirty and (ino is None or key[0] == ino)
+        ]
+
+    def clean(self, ino: int, page_index: int) -> None:
+        """Clear the dirty bit after a writeback."""
+        page = self._pages.get((ino, page_index))
+        if page is not None:
+            page.dirty = False
+
+    # --- eviction ---------------------------------------------------------
+    def _evict_to_fit(self) -> int:
+        evicted = 0
+        while self.usage_bytes > self.capacity_bytes and self._pages:
+            key, page = self._pages.popitem(last=False)
+            if page.dirty and self.writeback is not None:
+                self.writeback(key[0], key[1], page.content)
+            self.evictions += 1
+            evicted += 1
+        return evicted
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.counter.hit_ratio
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+__all__ = ["CachedPage", "PageCache"]

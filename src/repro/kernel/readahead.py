@@ -1,0 +1,52 @@
+"""Sequential read-ahead, modelled after Linux's on-demand readahead.
+
+Sequential streams get a geometrically growing window (4 -> 32 pages by
+default); random access gets only the configured speculative extra
+pages.  The paper blames exactly this mechanism for part of the block
+path's wasted traffic under fine-grained random reads, so the policy is
+explicit and fully configurable here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ReadaheadConfig
+
+
+@dataclass
+class ReadaheadState:
+    """Per-open-file readahead window tracker."""
+
+    config: ReadaheadConfig
+    last_page: int = -2
+    window_pages: int = 0
+    sequential_streak: int = 0
+
+    def on_access(self, page_index: int, *, was_miss: bool, file_pages: int) -> list[int]:
+        """Record an access; returns extra pages to read ahead on a miss."""
+        sequential = page_index == self.last_page + 1
+        self.last_page = page_index
+        if sequential:
+            self.sequential_streak += 1
+        else:
+            self.sequential_streak = 0
+            self.window_pages = 0
+
+        if not was_miss or not self.config.enabled:
+            return []
+
+        if sequential and self.sequential_streak >= 1:
+            if self.window_pages == 0:
+                self.window_pages = self.config.initial_window_pages
+            else:
+                self.window_pages = min(self.window_pages * 2, self.config.max_window_pages)
+            extra = self.window_pages
+        else:
+            extra = self.config.random_extra_pages
+        first = page_index + 1
+        last = min(page_index + extra, file_pages - 1)
+        return list(range(first, last + 1))
+
+
+__all__ = ["ReadaheadState"]

@@ -1,0 +1,16 @@
+"""Virtual-time simulation primitives: clock, resources, statistics."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import LatencyRecorder, LatencyStats
+from repro.sim.resources import ResourceModel
+from repro.sim.stats import Counter, HitMissCounter, TrafficMeter
+
+__all__ = [
+    "Counter",
+    "HitMissCounter",
+    "LatencyRecorder",
+    "LatencyStats",
+    "ResourceModel",
+    "TrafficMeter",
+    "VirtualClock",
+]

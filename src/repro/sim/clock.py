@@ -1,0 +1,41 @@
+"""A monotonically advancing virtual clock measured in nanoseconds.
+
+The reproduction never measures wall-clock time: every latency constant
+comes from :class:`repro.config.TimingModel` and is accumulated on this
+clock, so results are deterministic and independent of the Python
+interpreter's speed (see DESIGN.md section 2 on why).
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Simulated time source.
+
+    The clock only moves forward.  ``advance`` returns the new time so
+    call sites can chain accounting without re-reading ``now_ns``.
+    """
+
+    __slots__ = ("now_ns",)
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start before t=0")
+        self.now_ns = float(start_ns)
+
+    def advance(self, delta_ns: float) -> float:
+        """Move the clock forward by ``delta_ns`` (must be >= 0)."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by negative time {delta_ns}")
+        self.now_ns += delta_ns
+        return self.now_ns
+
+    def reset(self) -> None:
+        """Rewind to t=0 (used between experiment phases)."""
+        self.now_ns = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now_ns={self.now_ns:.1f})"
+
+
+__all__ = ["VirtualClock"]

@@ -1,0 +1,120 @@
+"""Queue-depth-1 latency recording with log-spaced histograms.
+
+The paper's Figure 8 reports *average* read latency bucketed by request
+size; :class:`LatencyRecorder` keeps enough structure to regenerate that
+figure (per-size means) plus percentiles for diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a set of latency samples (ns)."""
+
+    count: int
+    mean_ns: float
+    min_ns: float
+    max_ns: float
+    p50_ns: float
+    p99_ns: float
+
+    @staticmethod
+    def empty() -> "LatencyStats":
+        return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class _Histogram:
+    """Log2-bucketed histogram keeping exact sum/min/max for the mean."""
+
+    __slots__ = ("buckets", "count", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total_ns = 0.0
+        self.min_ns = math.inf
+        self.max_ns = 0.0
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError("negative latency")
+        bucket = max(0, int(latency_ns).bit_length())
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total_ns += latency_ns
+        if latency_ns < self.min_ns:
+            self.min_ns = latency_ns
+        if latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile from bucket upper bounds."""
+        if not self.count:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        target = fraction * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= target:
+                return float(min((1 << bucket) - 1, self.max_ns))
+        return self.max_ns
+
+    def stats(self) -> LatencyStats:
+        if not self.count:
+            return LatencyStats.empty()
+        return LatencyStats(
+            count=self.count,
+            mean_ns=self.total_ns / self.count,
+            min_ns=self.min_ns,
+            max_ns=self.max_ns,
+            p50_ns=self.percentile(0.50),
+            p99_ns=self.percentile(0.99),
+        )
+
+
+@dataclass
+class LatencyRecorder:
+    """Latency samples grouped by an arbitrary key (usually read size)."""
+
+    _overall: _Histogram = field(default_factory=_Histogram)
+    _by_key: dict[object, _Histogram] = field(default_factory=dict)
+
+    def record(self, latency_ns: float, key: object = None) -> None:
+        """Record one sample, optionally grouped under ``key``."""
+        self._overall.record(latency_ns)
+        if key is not None:
+            histogram = self._by_key.get(key)
+            if histogram is None:
+                histogram = _Histogram()
+                self._by_key[key] = histogram
+            histogram.record(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return self._overall.count
+
+    @property
+    def total_ns(self) -> float:
+        return self._overall.total_ns
+
+    def mean_ns(self, key: object = None) -> float:
+        histogram = self._overall if key is None else self._by_key.get(key)
+        if histogram is None or not histogram.count:
+            return 0.0
+        return histogram.total_ns / histogram.count
+
+    def stats(self, key: object = None) -> LatencyStats:
+        histogram = self._overall if key is None else self._by_key.get(key)
+        return histogram.stats() if histogram else LatencyStats.empty()
+
+    def keys(self) -> list[object]:
+        return list(self._by_key)
+
+
+__all__ = ["LatencyRecorder", "LatencyStats"]

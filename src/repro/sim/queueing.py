@@ -1,0 +1,144 @@
+"""Closed-loop pipeline (queueing) simulation of storage requests.
+
+The harness derives throughput from a bottleneck (busy-time) model; this
+module provides the event-level ground truth: each request flows through
+three FCFS stages — host CPU (``host_servers`` cores), NAND (one server
+per flash channel), PCIe (one link) — under a closed-loop queue-depth
+limit.  At depth 1 it reproduces serial latency; as depth grows, total
+time converges to the busiest stage's total work, validating the
+bottleneck model (see ``experiments/qd_sweep``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RequestDemand:
+    """Per-request resource demands (ns on each stage)."""
+
+    host_ns: float = 0.0
+    nand_ns: float = 0.0
+    channel: int = 0
+    pcie_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.host_ns, self.nand_ns, self.pcie_ns) < 0:
+            raise ValueError("demands must be non-negative")
+        if self.channel < 0:
+            raise ValueError("channel must be non-negative")
+
+
+@dataclass
+class QueueingResult:
+    """Outcome of one closed-loop run."""
+
+    requests: int
+    queue_depth: int
+    total_ns: float
+    mean_latency_ns: float
+    host_busy_ns: float
+    nand_busy_ns: float
+    pcie_busy_ns: float
+    latencies_ns: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_ops(self) -> float:
+        if self.total_ns <= 0:
+            return 0.0
+        return self.requests / (self.total_ns / 1e9)
+
+    def utilization(self, stage_capacity_ns: float, busy_ns: float) -> float:
+        if stage_capacity_ns <= 0:
+            return 0.0
+        return busy_ns / stage_capacity_ns
+
+
+class PipelineSimulator:
+    """FCFS three-stage pipeline with a closed-loop admission window."""
+
+    def __init__(self, channels: int = 8, host_servers: int = 4) -> None:
+        if channels <= 0 or host_servers <= 0:
+            raise ValueError("channels and host_servers must be positive")
+        self.channels = channels
+        self.host_servers = host_servers
+
+    def run(
+        self,
+        demands: list[RequestDemand],
+        queue_depth: int,
+        *,
+        keep_latencies: bool = False,
+    ) -> QueueingResult:
+        """Simulate ``demands`` in order under the given queue depth."""
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        host_free = [0.0] * self.host_servers
+        channel_free = [0.0] * self.channels
+        pcie_free = 0.0
+        in_flight: list[float] = []  # completion-time heap
+        total_latency = 0.0
+        latencies: list[float] = []
+        host_busy = 0.0
+        nand_busy = 0.0
+        pcie_busy = 0.0
+        finish = 0.0
+
+        for demand in demands:
+            if len(in_flight) >= queue_depth:
+                admit = heapq.heappop(in_flight)
+            else:
+                admit = 0.0
+
+            # Host stage: earliest-free core.
+            core = min(range(self.host_servers), key=host_free.__getitem__)
+            start = max(admit, host_free[core])
+            end_host = start + demand.host_ns
+            host_free[core] = end_host
+            host_busy += demand.host_ns
+
+            # NAND stage on the request's channel.
+            channel = demand.channel % self.channels
+            start = max(end_host, channel_free[channel])
+            end_nand = start + demand.nand_ns
+            channel_free[channel] = end_nand
+            nand_busy += demand.nand_ns
+
+            # PCIe stage: single shared link.
+            start = max(end_nand, pcie_free)
+            end = start + demand.pcie_ns
+            pcie_free = end
+            pcie_busy += demand.pcie_ns
+
+            heapq.heappush(in_flight, end)
+            latency = end - admit
+            total_latency += latency
+            if keep_latencies:
+                latencies.append(latency)
+            finish = max(finish, end)
+
+        count = len(demands)
+        return QueueingResult(
+            requests=count,
+            queue_depth=queue_depth,
+            total_ns=finish,
+            mean_latency_ns=total_latency / count if count else 0.0,
+            host_busy_ns=host_busy,
+            nand_busy_ns=nand_busy,
+            pcie_busy_ns=pcie_busy,
+            latencies_ns=latencies,
+        )
+
+    def bottleneck_prediction_ns(self, demands: list[RequestDemand]) -> float:
+        """The busy-time (roofline) completion-time prediction."""
+        host_busy = sum(demand.host_ns for demand in demands) / self.host_servers
+        per_channel = [0.0] * self.channels
+        for demand in demands:
+            per_channel[demand.channel % self.channels] += demand.nand_ns
+        pcie_busy = sum(demand.pcie_ns for demand in demands)
+        return max(host_busy, max(per_channel), pcie_busy)
+
+
+__all__ = ["PipelineSimulator", "QueueingResult", "RequestDemand"]

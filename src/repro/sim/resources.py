@@ -1,0 +1,115 @@
+"""Per-resource busy-time accounting and the bottleneck throughput model.
+
+A storage request consumes several independent resources: host CPU time
+(syscalls, cache lookups, copies), NAND array time on one flash channel,
+and PCIe link time.  Under a pipelined load (queue depth > 1, the regime
+of the paper's throughput figures) total run time is governed by the
+busiest resource, while queue-depth-1 latency (the paper's Figure 8) is
+the *sum* of the serial components of one request.
+
+:class:`ResourceModel` accumulates both views from a single simulation
+pass:
+
+- ``busy_*`` accumulators feed :meth:`bottleneck_time_ns`, the pipelined
+  completion time used for throughput;
+- callers separately sum their per-request component latencies for the
+  QD-1 latency view (see :class:`repro.sim.latency.LatencyRecorder`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResourceModel:
+    """Busy-time ledger for the host CPU, NAND channels and PCIe link."""
+
+    channels: int = 8
+    #: Host cores issuing I/O concurrently; host work divides across them.
+    host_parallelism: int = 1
+    host_busy_ns: float = 0.0
+    pcie_busy_ns: float = 0.0
+    channel_busy_ns: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
+        if self.host_parallelism <= 0:
+            raise ValueError("host_parallelism must be positive")
+        if not self.channel_busy_ns:
+            self.channel_busy_ns = [0.0] * self.channels
+        elif len(self.channel_busy_ns) != self.channels:
+            raise ValueError("channel_busy_ns length does not match channels")
+
+    # --- accumulation -------------------------------------------------
+    def host(self, ns: float) -> float:
+        """Charge host CPU time; returns the charged amount."""
+        self.host_busy_ns += ns
+        return ns
+
+    def pcie(self, ns: float) -> float:
+        """Charge PCIe link time; returns the charged amount."""
+        self.pcie_busy_ns += ns
+        return ns
+
+    def channel(self, channel_index: int, ns: float) -> float:
+        """Charge NAND time on a specific flash channel."""
+        self.channel_busy_ns[channel_index % self.channels] += ns
+        return ns
+
+    def any_channel(self, ns: float) -> float:
+        """Charge NAND time on the least-loaded channel (striped work)."""
+        index = min(range(self.channels), key=self.channel_busy_ns.__getitem__)
+        self.channel_busy_ns[index] += ns
+        return ns
+
+    # --- derived views ------------------------------------------------
+    @property
+    def nand_busy_ns(self) -> float:
+        """Busy time of the most-loaded flash channel."""
+        return max(self.channel_busy_ns)
+
+    @property
+    def nand_total_ns(self) -> float:
+        """Total NAND array time across all channels."""
+        return sum(self.channel_busy_ns)
+
+    @property
+    def host_effective_ns(self) -> float:
+        """Host busy time divided across the issuing cores."""
+        return self.host_busy_ns / self.host_parallelism
+
+    def bottleneck_time_ns(self) -> float:
+        """Pipelined completion time: the busiest resource's busy time."""
+        return max(self.host_effective_ns, self.pcie_busy_ns, self.nand_busy_ns)
+
+    def bottleneck_resource(self) -> str:
+        """Name of the resource that bounds the run."""
+        candidates = {
+            "host": self.host_effective_ns,
+            "pcie": self.pcie_busy_ns,
+            "nand": self.nand_busy_ns,
+        }
+        return max(candidates, key=candidates.__getitem__)
+
+    def merged_with(self, other: "ResourceModel") -> "ResourceModel":
+        """Combine two ledgers (used when aggregating phases)."""
+        if other.channels != self.channels:
+            raise ValueError("cannot merge ledgers with different channel counts")
+        merged = ResourceModel(channels=self.channels, host_parallelism=self.host_parallelism)
+        merged.host_busy_ns = self.host_busy_ns + other.host_busy_ns
+        merged.pcie_busy_ns = self.pcie_busy_ns + other.pcie_busy_ns
+        merged.channel_busy_ns = [
+            a + b for a, b in zip(self.channel_busy_ns, other.channel_busy_ns)
+        ]
+        return merged
+
+    def reset(self) -> None:
+        """Zero every accumulator."""
+        self.host_busy_ns = 0.0
+        self.pcie_busy_ns = 0.0
+        self.channel_busy_ns = [0.0] * self.channels
+
+
+__all__ = ["ResourceModel"]

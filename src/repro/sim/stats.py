@@ -1,0 +1,133 @@
+"""Counters used throughout the stack: hits/misses, traffic, events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def incr(self, by: int = 1) -> int:
+        if by < 0:
+            raise ValueError("counters only count up")
+        self.value += by
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class HitMissCounter:
+    """Hit/miss bookkeeping with a derived hit ratio."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def hit(self, by: int = 1) -> None:
+        self.hits += by
+
+    def miss(self, by: int = 1) -> None:
+        self.misses += by
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits / accesses; 0.0 when nothing was accessed yet."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class TrafficMeter:
+    """Byte counters over the host/device interconnect.
+
+    ``device_to_host`` is the paper's "I/O traffic on read operations";
+    the other directions are tracked for completeness (writes, doorbells
+    and Info Area maintenance are negligible but nonzero).
+    """
+
+    device_to_host_bytes: int = 0
+    host_to_device_bytes: int = 0
+    #: Device-to-host bytes caused by write operations (read-modify-
+    #: write fetches); excluded from the paper's read-traffic metric.
+    write_induced_bytes: int = 0
+    #: Bytes the application actually asked for (useful payload).
+    demanded_bytes: int = 0
+    #: When True, device_read() bytes are attributed to the write path.
+    write_context: bool = False
+
+    def device_read(self, nbytes: int) -> None:
+        """Record ``nbytes`` moving from the device to the host."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if self.write_context:
+            self.write_induced_bytes += nbytes
+        else:
+            self.device_to_host_bytes += nbytes
+
+    def device_write(self, nbytes: int) -> None:
+        """Record ``nbytes`` moving from the host to the device."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        self.host_to_device_bytes += nbytes
+
+    def demand(self, nbytes: int) -> None:
+        """Record application-requested payload bytes."""
+        if nbytes < 0:
+            raise ValueError("negative demand size")
+        self.demanded_bytes += nbytes
+
+    @property
+    def read_amplification(self) -> float:
+        """device_to_host / demanded; 0.0 before any demand."""
+        if not self.demanded_bytes:
+            return 0.0
+        return self.device_to_host_bytes / self.demanded_bytes
+
+    def reset(self) -> None:
+        self.device_to_host_bytes = 0
+        self.host_to_device_bytes = 0
+        self.write_induced_bytes = 0
+        self.demanded_bytes = 0
+        self.write_context = False
+
+
+@dataclass
+class StatRegistry:
+    """A loose bag of named counters for ad-hoc instrumentation."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Fetch-or-create a counter by name."""
+        found = self.counters.get(name)
+        if found is None:
+            found = Counter(name)
+            self.counters[name] = found
+        return found
+
+    def incr(self, name: str, by: int = 1) -> int:
+        return self.counter(name).incr(by)
+
+    def value(self, name: str) -> int:
+        found = self.counters.get(name)
+        return found.value if found else 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: counter.value for name, counter in sorted(self.counters.items())}
+
+
+__all__ = ["Counter", "HitMissCounter", "StatRegistry", "TrafficMeter"]

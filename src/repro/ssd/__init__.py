@@ -1,0 +1,42 @@
+"""Simulated NVMe SSD: NAND array, FTL, interconnect and controller."""
+
+from repro.ssd.admin import AdminState, IdentifyController
+from repro.ssd.cmb import ControllerMemoryBuffer
+from repro.ssd.device import DeviceOpResult, SSDDevice
+from repro.ssd.dma import DmaEngine
+from repro.ssd.faults import FaultModel, NandReadError
+from repro.ssd.ftl import FlashTranslationLayer, WearReport
+from repro.ssd.hmb import HostMemoryBuffer
+from repro.ssd.mmio import MmioWindow
+from repro.ssd.nand import FlashArray, page_pattern
+from repro.ssd.nvme import (
+    CompletionQueue,
+    NvmeCommand,
+    NvmeOpcode,
+    NvmeQueuePair,
+    SubmissionQueue,
+)
+from repro.ssd.pcie import PcieLink
+
+__all__ = [
+    "AdminState",
+    "CompletionQueue",
+    "ControllerMemoryBuffer",
+    "DeviceOpResult",
+    "DmaEngine",
+    "FaultModel",
+    "FlashArray",
+    "FlashTranslationLayer",
+    "HostMemoryBuffer",
+    "IdentifyController",
+    "MmioWindow",
+    "NandReadError",
+    "NvmeCommand",
+    "NvmeOpcode",
+    "NvmeQueuePair",
+    "PcieLink",
+    "SSDDevice",
+    "SubmissionQueue",
+    "WearReport",
+    "page_pattern",
+]

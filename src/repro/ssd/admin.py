@@ -1,0 +1,93 @@
+"""NVMe admin command set: IDENTIFY and SET FEATURES (HMB).
+
+Models the initialization-time protocol the paper's design leans on:
+the controller advertises its HMB needs in the IDENTIFY CONTROLLER
+data (``HMPRE``, preferred HMB size), and the host grants memory with
+SET FEATURES (Feature ID 0x0D, Host Memory Buffer) — the point at which
+the persistent DMA mapping is established, off every read's critical
+path (paper section 3.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config import SSDSpec
+
+
+class AdminOpcode(enum.IntEnum):
+    IDENTIFY = 0x06
+    SET_FEATURES = 0x09
+    GET_FEATURES = 0x0A
+
+
+#: Feature ID of the Host Memory Buffer (NVMe 1.2+).
+FEATURE_HMB = 0x0D
+
+
+@dataclass(frozen=True)
+class IdentifyController:
+    """The IDENTIFY CONTROLLER fields this model exposes."""
+
+    model_number: str
+    channels: int
+    nand: str
+    capacity_bytes: int
+    #: Host Memory Buffer Preferred Size, in bytes.
+    hmb_preferred_bytes: int
+    #: Host Memory Buffer Minimum Size, in bytes.
+    hmb_minimum_bytes: int
+
+    @staticmethod
+    def from_spec(spec: SSDSpec) -> "IdentifyController":
+        return IdentifyController(
+            model_number="REPRO-YS9203",
+            channels=spec.channels,
+            nand=spec.nand_type.value,
+            capacity_bytes=spec.capacity_bytes,
+            hmb_preferred_bytes=spec.mapping_region_bytes,
+            hmb_minimum_bytes=spec.mapping_region_bytes // 4,
+        )
+
+
+@dataclass
+class AdminState:
+    """Controller-side admin/features state machine."""
+
+    spec: SSDSpec
+    hmb_enabled: bool = False
+    hmb_granted_bytes: int = 0
+    commands_handled: int = 0
+    _features: dict[int, int] = field(default_factory=dict)
+
+    def identify(self) -> IdentifyController:
+        self.commands_handled += 1
+        return IdentifyController.from_spec(self.spec)
+
+    def set_feature(self, feature_id: int, value: int) -> int:
+        """SET FEATURES; returns the accepted value.
+
+        For the HMB feature, ``value`` is the granted buffer size in
+        bytes; granting less than the controller's minimum is rejected
+        with a ValueError (the spec's Invalid Field behaviour).
+        """
+        self.commands_handled += 1
+        if feature_id == FEATURE_HMB:
+            identity = IdentifyController.from_spec(self.spec)
+            if value != 0 and value < identity.hmb_minimum_bytes:
+                raise ValueError(
+                    f"HMB grant {value} below controller minimum "
+                    f"{identity.hmb_minimum_bytes}"
+                )
+            self.hmb_enabled = value != 0
+            self.hmb_granted_bytes = value
+        self._features[feature_id] = value
+        return value
+
+    def get_feature(self, feature_id: int) -> int:
+        self.commands_handled += 1
+        return self._features.get(feature_id, 0)
+
+
+__all__ = ["AdminOpcode", "AdminState", "FEATURE_HMB", "IdentifyController"]

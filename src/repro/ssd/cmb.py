@@ -1,0 +1,57 @@
+"""Controller Memory Buffer: controller DRAM exposed through a PCIe BAR.
+
+2B-SSD style byte access stages NAND pages here before the host pulls
+the demanded bytes out via MMIO or a freshly mapped DMA (paper
+section 2.2).  Modelled as a flat region plus a tiny page directory so
+tests can check staging behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ControllerMemoryBuffer:
+    """BAR-exposed controller memory staging area."""
+
+    size: int
+    page_size: int = 4096
+    _data: bytearray = field(init=False, repr=False)
+    #: ppn currently staged in each CMB page slot (round-robin reuse).
+    _staged: dict[int, int] = field(default_factory=dict)
+    _next_slot: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < self.page_size:
+            raise ValueError("CMB smaller than one page")
+        self._data = bytearray(self.size)
+
+    @property
+    def slots(self) -> int:
+        return self.size // self.page_size
+
+    def stage_page(self, ppn: int, content: bytes | None) -> int:
+        """Stage a NAND page into the next slot; returns the slot's address."""
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.slots
+        addr = slot * self.page_size
+        self._staged[slot] = ppn
+        if content is not None:
+            if len(content) != self.page_size:
+                raise ValueError("staged content must be one full page")
+            self._data[addr : addr + self.page_size] = content
+        return addr
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Host-side read of staged bytes."""
+        if addr < 0 or addr + length > self.size:
+            raise ValueError(f"access [{addr}, {addr + length}) outside CMB")
+        return bytes(self._data[addr : addr + length])
+
+    def staged_ppn(self, slot: int) -> int | None:
+        """ppn staged in a slot, if any (diagnostics/tests)."""
+        return self._staged.get(slot)
+
+
+__all__ = ["ControllerMemoryBuffer"]

@@ -1,0 +1,203 @@
+"""The assembled SSD device: one object the host systems talk to.
+
+``SSDDevice`` wires the NAND array, FTL, controller, PCIe link, DMA and
+MMIO models, CMB and HMB regions, and an NVMe queue pair together, and
+offers the three read paths the paper compares:
+
+- :meth:`block_read` -- the conventional page-granular path (used by
+  Block I/O and by Pipette's coarse-grained dispatch);
+- :meth:`stage_for_byte_access` -- CMB staging for 2B-SSD MMIO/DMA;
+- ``FINE_GRAINED_READ`` NVMe commands handled by the installed Read
+  Engine (see :mod:`repro.core.engine`) for Pipette's byte path.
+
+Timing contract: device methods charge the :class:`ResourceModel`
+(pipelined throughput view) and return the queue-depth-1 latency of the
+operation; callers add their host-side costs on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import SimConfig
+from repro.sim.resources import ResourceModel
+from repro.sim.stats import TrafficMeter
+from repro.ssd.admin import FEATURE_HMB, AdminState
+from repro.ssd.cmb import ControllerMemoryBuffer
+from repro.ssd.controller import SSDController
+from repro.ssd.dma import DmaEngine
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.hmb import HostMemoryBuffer
+from repro.ssd.mmio import MmioWindow
+from repro.ssd.nand import FlashArray
+from repro.ssd.nvme import NvmeCommand, NvmeOpcode, NvmeQueuePair
+from repro.ssd.pcie import PcieLink
+
+
+@dataclass
+class DeviceOpResult:
+    """Data plus queue-depth-1 latency of one device operation."""
+
+    latency_ns: float
+    pages: dict[int, bytes | None]
+
+
+def _contiguous_runs(lbas: list[int]) -> list[tuple[int, int]]:
+    """Split page LBAs into sorted contiguous (start, count) runs."""
+    if not lbas:
+        return []
+    ordered = sorted(set(lbas))
+    runs: list[tuple[int, int]] = []
+    start = ordered[0]
+    count = 1
+    for lba in ordered[1:]:
+        if lba == start + count:
+            count += 1
+        else:
+            runs.append((start, count))
+            start, count = lba, 1
+    runs.append((start, count))
+    return runs
+
+
+class SSDDevice:
+    """Facade over the simulated SSD."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.resources = ResourceModel(
+            channels=config.ssd.channels,
+            host_parallelism=config.timing.host_parallelism,
+        )
+        self.nand = FlashArray.create(config.ssd, config.timing)
+        self.ftl = FlashTranslationLayer(nand=self.nand)
+        self.link = PcieLink(timing=config.timing)
+        self.dma = DmaEngine(timing=config.timing, link=self.link)
+        self.mmio = MmioWindow(timing=config.timing, link=self.link)
+        self.cmb = ControllerMemoryBuffer(
+            size=max(config.ssd.page_size, config.ssd.read_buffer_pages * config.ssd.page_size),
+            page_size=config.ssd.page_size,
+        )
+        self.hmb = HostMemoryBuffer(size=config.ssd.mapping_region_bytes)
+        self.controller = SSDController(
+            config=config, nand=self.nand, ftl=self.ftl, resources=self.resources
+        )
+        self.queue = NvmeQueuePair(executor=self.controller.execute)
+        self.admin = AdminState(spec=config.ssd)
+
+    # --- initialization features ------------------------------------------
+    def enable_hmb(self, grant_bytes: int | None = None) -> float:
+        """Enable the HMB feature: one-time persistent DMA mapping.
+
+        Runs the real admin protocol — IDENTIFY to learn the preferred
+        HMB size, SET FEATURES (0x0D) to grant it — then establishes
+        the persistent mapping.  Returns the setup latency (paid once
+        at initialization, *not* on the critical path of any read —
+        the point of Pipette's HMB choice over CMB, paper 3.1.1).
+        """
+        identity = self.admin.identify()
+        self.admin.set_feature(
+            FEATURE_HMB,
+            grant_bytes if grant_bytes is not None else identity.hmb_preferred_bytes,
+        )
+        return self.dma.establish_persistent_mapping()
+
+    # --- traffic -----------------------------------------------------------
+    @property
+    def traffic(self) -> TrafficMeter:
+        return self.link.traffic
+
+    # --- conventional block path --------------------------------------------
+    def block_read(
+        self,
+        lbas: list[int],
+        *,
+        background_lbas: list[int] | None = None,
+    ) -> DeviceOpResult:
+        """Read full pages; ``background_lbas`` are read-ahead pages.
+
+        Demanded pages contribute to the returned QD-1 latency;
+        background (read-ahead) pages occupy NAND channels and the link
+        — and count as I/O traffic — but complete asynchronously, so
+        they do not extend the request's latency.
+        """
+        page_size = self.config.ssd.page_size
+        timing = self.config.timing
+        pages: dict[int, bytes | None] = {}
+
+        per_page_ns: list[float] = []
+        for start, count in _contiguous_runs(lbas):
+            completion = self.queue.submit(
+                NvmeCommand(opcode=NvmeOpcode.READ, lba=start, nlb=count)
+            )
+            if not completion.success:
+                raise RuntimeError(f"READ of [{start}, {start + count}) failed")
+            run_pages, nand_ns_each = completion.result
+            for index, lba in enumerate(range(start, start + count)):
+                pages[lba] = run_pages[index]
+                per_page_ns.append(nand_ns_each[index])
+
+        # QD-1 latency: pages on distinct channels overlap, so the array
+        # phase takes ceil(n/channels) serial page times.
+        latency = 0.0
+        if per_page_ns:
+            rounds = math.ceil(len(per_page_ns) / self.config.ssd.channels)
+            latency += rounds * max(per_page_ns)
+            transfer = self.link.dma_to_host_ns(page_size * len(per_page_ns))
+            self.resources.pcie(transfer)
+            latency += transfer
+            latency += timing.completion_ns
+
+        for lba in background_lbas or []:
+            content, _ = self.controller.sense_page(lba)
+            penalty = self.controller.block_page_extra_ns()
+            self.resources.channel(self.nand.channel_of(self.ftl.translate(lba)), penalty)
+            pages[lba] = content
+            self.resources.pcie(self.link.dma_to_host_ns(page_size))
+
+        return DeviceOpResult(latency_ns=latency, pages=pages)
+
+    # --- write path ---------------------------------------------------------
+    def block_write(self, writes: list[tuple[int, bytes]]) -> float:
+        """Write full pages; returns QD-1 latency.
+
+        Like a real NVMe SSD, writes are acknowledged from the device's
+        DRAM write buffer: the visible latency is the PCIe transfer plus
+        completion, while the NAND program happens in the background
+        (it still occupies the flash channel in the throughput model).
+        """
+        page_size = self.config.ssd.page_size
+        latency = 0.0
+        for lba, data in writes:
+            if len(data) != page_size:
+                raise ValueError("block_write requires full pages")
+            transfer = self.link.dma_to_device_ns(page_size)
+            self.resources.pcie(transfer)
+            self.controller.program_page(lba, data)  # charges the channel
+            latency += transfer
+        if writes:
+            latency += self.config.timing.completion_ns
+        return latency
+
+    # --- 2B-SSD style byte access ---------------------------------------------
+    def stage_for_byte_access(self, lba: int) -> tuple[int, bytes | None, float]:
+        """Sense one page into the CMB for MMIO/DMA byte access.
+
+        Returns ``(cmb_addr, page_content, device_ns)``.
+        """
+        content, nand_ns = self.controller.sense_page(lba)
+        addr = self.cmb.stage_page(self.ftl.translate(lba), content)
+        return addr, content, nand_ns
+
+    # --- NVMe command submission ----------------------------------------------
+    def submit(self, command: NvmeCommand):
+        """Submit a raw NVMe command through the queue pair."""
+        return self.queue.submit(command)
+
+    def install_fine_read_engine(self, engine) -> None:
+        """Install Pipette's firmware Read Engine extension."""
+        self.controller.install_extension(NvmeOpcode.FINE_GRAINED_READ, engine)
+
+
+__all__ = ["DeviceOpResult", "SSDDevice"]

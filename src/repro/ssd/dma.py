@@ -1,0 +1,57 @@
+"""DMA engine model with explicit mapping setup cost.
+
+Two regimes matter for the paper:
+
+- **2B-SSD DMA mode** sets up a DMA mapping *per access* on the critical
+  path (``map_ns`` every read) — the 21.79-25.06 us gap the paper
+  measures over Pipette w/o cache.
+- **Pipette's HMB path** establishes the mapping once when the HMB
+  feature is enabled at initialization; after that transfers pay only
+  link time (``map_established`` is flipped once and stays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TimingModel
+from repro.ssd.pcie import PcieLink
+
+
+@dataclass
+class DmaEngine:
+    """Device DMA engine pushing payloads over a :class:`PcieLink`."""
+
+    timing: TimingModel
+    link: PcieLink
+    map_established: bool = False
+    mappings_created: int = 0
+
+    def establish_persistent_mapping(self) -> float:
+        """One-time HMB mapping setup (initialization stage); returns cost."""
+        if self.map_established:
+            return 0.0
+        self.map_established = True
+        self.mappings_created += 1
+        return float(self.timing.dma_map_ns)
+
+    def transfer_to_host_ns(self, nbytes: int, *, per_access_map: bool = False) -> float:
+        """DMA ``nbytes`` device->host.
+
+        With ``per_access_map`` the mapping cost is paid on this call
+        (2B-SSD DMA mode); otherwise a persistent mapping must already
+        exist (Pipette's HMB) or the transfer is a plain PRP transfer
+        (conventional block path, whose buffers the driver premaps).
+        """
+        setup = 0.0
+        if per_access_map:
+            self.mappings_created += 1
+            setup = float(self.timing.dma_map_ns)
+        return setup + self.link.dma_to_host_ns(nbytes)
+
+    def transfer_to_device_ns(self, nbytes: int) -> float:
+        """DMA ``nbytes`` host->device (write payloads)."""
+        return self.link.dma_to_device_ns(nbytes)
+
+
+__all__ = ["DmaEngine"]

@@ -1,0 +1,201 @@
+"""Page-mapped flash translation layer with out-of-place writes and GC.
+
+The read-focused evaluation rarely writes, but consistency experiments
+(paper section 3.1.3) do update data in place from the application's
+point of view; the FTL therefore implements real out-of-place updates:
+a write allocates a fresh physical page from the over-provisioning pool,
+remaps the LBA and invalidates the old page.  When the pool runs dry a
+garbage collector reclaims a victim block chosen by the configured
+policy:
+
+- ``greedy`` — most invalid pages (maximum space reclaimed per erase);
+- ``cost-benefit`` — classic LFS score ``(1 - u) * age / (1 + u)``
+  where ``u`` is the block's valid-page utilization and age is the time
+  (in GC-relevant writes) since the block last changed; trades a little
+  reclaim efficiency for wear-aware victim rotation.
+
+Unmapped LBAs are "pre-imaged": they translate to the identity physical
+page, whose deterministic content stands in for data written before the
+simulation started (e.g. pre-loaded embedding tables).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ssd.nand import FlashArray
+
+
+class GcPolicy(enum.Enum):
+    GREEDY = "greedy"
+    COST_BENEFIT = "cost-benefit"
+
+
+@dataclass
+class FtlStats:
+    host_writes: int = 0
+    gc_relocations: int = 0
+    gc_runs: int = 0
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Endurance summary derived from per-block erase counts."""
+
+    total_erases: int
+    blocks_touched: int
+    max_erases: int
+    min_erases: int
+    mean_erases: float
+    #: NAND programs / host writes; 1.0 means no GC write amplification.
+    write_amplification: float
+
+
+@dataclass
+class FlashTranslationLayer:
+    """LBA -> PPN mapping with lazy identity pre-image."""
+
+    nand: FlashArray
+    gc_policy: GcPolicy = GcPolicy.GREEDY
+    _l2p: dict[int, int] = field(default_factory=dict)
+    _invalid: set[int] = field(default_factory=set)
+    #: Blocks (by index) holding relocated/updated data, for GC scans.
+    _dirty_blocks: dict[int, int] = field(default_factory=dict)
+    #: Logical write clock at each dirty block's last modification.
+    _block_mtime: dict[int, int] = field(default_factory=dict)
+    _free_ppns: list[int] = field(default_factory=list)
+    _next_op_ppn: int = -1
+    _write_clock: int = 0
+    stats: FtlStats = field(default_factory=FtlStats)
+
+    def __post_init__(self) -> None:
+        if self._next_op_ppn < 0:
+            self._next_op_ppn = self.nand.spec.total_pages
+
+    # --- translation ------------------------------------------------------
+    def translate(self, lba: int) -> int:
+        """Resolve an LBA to its physical page."""
+        self._check_lba(lba)
+        return self._l2p.get(lba, lba)
+
+    def is_mapped(self, lba: int) -> bool:
+        """True when the LBA has been written during this simulation."""
+        return lba in self._l2p
+
+    @property
+    def mapping_entries(self) -> int:
+        return len(self._l2p)
+
+    def mapping_bytes(self, entry_bytes: int = 8) -> int:
+        """Approximate DRAM footprint of the explicit mapping table."""
+        return self.mapping_entries * entry_bytes
+
+    # --- write path ------------------------------------------------------
+    def write(self, lba: int, data: bytes) -> int:
+        """Out-of-place update; returns the new physical page number."""
+        self._check_lba(lba)
+        ppn = self._allocate_ppn()
+        self.nand.program_page(ppn, data)
+        old = self._l2p.get(lba)
+        if old is not None:
+            self._invalidate(old)
+        self._l2p[lba] = ppn
+        self._note_dirty(ppn)
+        self.stats.host_writes += 1
+        return ppn
+
+    # --- garbage collection ------------------------------------------------
+    def _allocate_ppn(self) -> int:
+        if self._free_ppns:
+            return self._free_ppns.pop()
+        if self._next_op_ppn < self.nand.physical_pages:
+            ppn = self._next_op_ppn
+            self._next_op_ppn += 1
+            return ppn
+        self._collect_garbage()
+        if not self._free_ppns:
+            raise RuntimeError("FTL out of physical pages even after GC")
+        return self._free_ppns.pop()
+
+    def _select_victim(self) -> int:
+        """Pick the GC victim block per the configured policy."""
+        if self.gc_policy is GcPolicy.GREEDY:
+            return max(self._dirty_blocks, key=self._dirty_blocks.__getitem__)
+        pages_per_block = self.nand.spec.pages_per_block
+
+        def score(block: int) -> float:
+            invalid = self._dirty_blocks[block]
+            utilization = 1.0 - invalid / pages_per_block
+            age = self._write_clock - self._block_mtime.get(block, 0)
+            return (1.0 - utilization) * (age + 1) / (1.0 + utilization)
+
+        return max(self._dirty_blocks, key=score)
+
+    def _collect_garbage(self) -> None:
+        """Reclaim one victim block, relocating its live pages."""
+        if not self._dirty_blocks:
+            raise RuntimeError("no reclaimable blocks")
+        victim = self._select_victim()
+        pages_per_block = self.nand.spec.pages_per_block
+        start = victim * pages_per_block
+        victim_ppns = set(range(start, start + pages_per_block))
+        # Relocate still-valid pages out of the victim block.
+        live = {lba: ppn for lba, ppn in self._l2p.items() if ppn in victim_ppns}
+        relocated: list[tuple[int, bytes]] = []
+        for lba, ppn in live.items():
+            data = self.nand.read_page(ppn)
+            assert data is not None
+            relocated.append((lba, data))
+        self.nand.erase_block(victim)
+        self._invalid.difference_update(victim_ppns)
+        self._dirty_blocks.pop(victim)
+        self._block_mtime.pop(victim, None)
+        self._free_ppns.extend(sorted(victim_ppns, reverse=True))
+        for lba, data in relocated:
+            ppn = self._free_ppns.pop()
+            self.nand.program_page(ppn, data)
+            self._l2p[lba] = ppn
+            self._note_dirty(ppn)
+            self.stats.gc_relocations += 1
+        self.stats.gc_runs += 1
+
+    def _invalidate(self, ppn: int) -> None:
+        self._invalid.add(ppn)
+        block = self.nand.block_of(ppn)
+        if block in self._dirty_blocks:
+            self._dirty_blocks[block] += 1
+
+    def _note_dirty(self, ppn: int) -> None:
+        block = self.nand.block_of(ppn)
+        self._dirty_blocks.setdefault(block, 0)
+        self._write_clock += 1
+        self._block_mtime[block] = self._write_clock
+
+    def wear_report(self) -> WearReport:
+        """Endurance/wear summary over the blocks erased so far."""
+        counts = self.nand.erase_counts
+        total = sum(counts.values())
+        host_writes = self.stats.host_writes
+        amplification = (
+            (host_writes + self.stats.gc_relocations) / host_writes
+            if host_writes
+            else 0.0
+        )
+        if not counts:
+            return WearReport(0, 0, 0, 0, 0.0, amplification)
+        return WearReport(
+            total_erases=total,
+            blocks_touched=len(counts),
+            max_erases=max(counts.values()),
+            min_erases=min(counts.values()),
+            mean_erases=total / len(counts),
+            write_amplification=amplification,
+        )
+
+    def _check_lba(self, lba: int) -> None:
+        if lba < 0 or lba >= self.nand.spec.total_pages:
+            raise ValueError(f"lba {lba} out of range [0, {self.nand.spec.total_pages})")
+
+
+__all__ = ["FlashTranslationLayer", "FtlStats"]

@@ -1,0 +1,46 @@
+"""Host Memory Buffer: host DRAM lent to the device at initialization.
+
+Pipette places the fine-grained read cache's Data/Info/TempBuf areas
+inside the HMB so the device can DMA extracted byte ranges directly to
+their final destinations (paper section 3.1.1).  The buffer is modelled
+as a flat byte-addressable region; address management is left to the
+cache layers above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HostMemoryBuffer:
+    """Flat host-resident region addressable by both host and device."""
+
+    size: int
+    _data: bytearray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("HMB size must be positive")
+        self._data = bytearray(self.size)
+
+    def write(self, addr: int, payload: bytes) -> None:
+        """Store ``payload`` at ``addr`` (device DMA or host store)."""
+        self._check(addr, len(payload))
+        self._data[addr : addr + len(payload)] = payload
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Load ``length`` bytes from ``addr``."""
+        self._check(addr, length)
+        return bytes(self._data[addr : addr + length])
+
+    def _check(self, addr: int, length: int) -> None:
+        if length < 0:
+            raise ValueError("negative length")
+        if addr < 0 or addr + length > self.size:
+            raise ValueError(
+                f"access [{addr}, {addr + length}) outside HMB of {self.size} bytes"
+            )
+
+
+__all__ = ["HostMemoryBuffer"]

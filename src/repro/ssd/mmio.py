@@ -1,0 +1,34 @@
+"""MMIO window over the controller memory buffer (2B-SSD MMIO mode).
+
+CPU loads against a BAR-mapped CMB are non-posted transactions of at
+most 8 bytes on x86, and the first touch of an unmapped region takes a
+page fault (paper section 2.2).  The window charges both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TimingModel
+from repro.ssd.pcie import PcieLink
+
+
+@dataclass
+class MmioWindow:
+    """Host-visible window used for byte-granular CMB reads."""
+
+    timing: TimingModel
+    link: PcieLink
+    faults_taken: int = 0
+
+    def fault_ns(self) -> float:
+        """Page-fault cost to (re)map the window before an access."""
+        self.faults_taken += 1
+        return float(self.timing.page_fault_ns)
+
+    def read_ns(self, nbytes: int) -> float:
+        """Read ``nbytes`` through the window (split into <=8 B loads)."""
+        return self.link.mmio_read_ns(nbytes)
+
+
+__all__ = ["MmioWindow"]

@@ -1,0 +1,56 @@
+"""PCIe link model: payload bandwidth, per-TLP cost, traffic metering.
+
+Every byte that crosses the host/device boundary is recorded here; the
+paper's "I/O traffic" tables (Tables 2 and 3, Figure 9b) are read
+directly off this meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import TimingModel
+from repro.sim.stats import TrafficMeter
+
+
+@dataclass
+class PcieLink:
+    """Shared link between host and SSD (Gen3 x4 by default)."""
+
+    timing: TimingModel
+    traffic: TrafficMeter = field(default_factory=TrafficMeter)
+
+    def dma_to_host_ns(self, nbytes: int) -> float:
+        """Device-to-host DMA: meter traffic, return transfer time."""
+        if nbytes < 0:
+            raise ValueError("negative transfer")
+        if nbytes == 0:
+            return 0.0
+        self.traffic.device_read(nbytes)
+        return self.timing.pcie_transfer_ns(nbytes)
+
+    def dma_to_device_ns(self, nbytes: int) -> float:
+        """Host-to-device DMA (writes, Info Area doorbells)."""
+        if nbytes < 0:
+            raise ValueError("negative transfer")
+        if nbytes == 0:
+            return 0.0
+        self.traffic.device_write(nbytes)
+        return self.timing.pcie_transfer_ns(nbytes)
+
+    def mmio_read_ns(self, nbytes: int) -> float:
+        """Host-initiated MMIO read from a BAR window (non-posted).
+
+        The read is split into at most ``mmio_payload_bytes`` (8 B)
+        transactions, each paying a full round trip — the reason 2B-SSD
+        MMIO latency grows linearly with request size (paper Fig. 8).
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer")
+        if nbytes == 0:
+            return 0.0
+        self.traffic.device_read(nbytes)
+        return self.timing.mmio_read_ns(nbytes)
+
+
+__all__ = ["PcieLink"]

@@ -1,0 +1,213 @@
+"""Common facade every evaluated system implements.
+
+A :class:`StorageSystem` owns one simulated SSD and one file-system
+instance and exposes POSIX-ish ``open``/``read``/``write``/``fsync``.
+Subclasses differ only in how ``_read`` is serviced — exactly the axis
+the paper compares:
+
+========================  =============================================
+``block-io``              conventional path (page cache + read-ahead)
+``2b-ssd-mmio``           byte access via CMB + MMIO loads
+``2b-ssd-dma``            byte access via CMB + per-access DMA mapping
+``pipette-nocache``       Pipette byte path, fine-grained cache disabled
+``pipette``               the full Pipette framework
+========================  =============================================
+
+Use :func:`build_system` to construct one by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.config import SimConfig
+from repro.kernel.fs.ext4 import ExtentFileSystem
+from repro.kernel.vfs import O_RDONLY, FileTable, OpenFile
+from repro.sim.latency import LatencyRecorder, LatencyStats
+from repro.ssd.device import SSDDevice
+
+
+@dataclass
+class SystemResult:
+    """Everything the paper's tables/figures need from one run."""
+
+    name: str
+    requests: int
+    demanded_bytes: int
+    traffic_bytes: int
+    elapsed_ns: float
+    mean_latency_ns: float
+    latency: LatencyStats
+    bottleneck: str
+    cache_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_ops(self) -> float:
+        """Operations per simulated second."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.requests / (self.elapsed_ns / 1e9)
+
+    @property
+    def goodput_bytes_per_sec(self) -> float:
+        """Application-demanded bytes per simulated second."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.demanded_bytes / (self.elapsed_ns / 1e9)
+
+    @property
+    def traffic_mib(self) -> float:
+        """I/O traffic in MiB, the unit of the paper's Tables 2/3."""
+        return self.traffic_bytes / (1024 * 1024)
+
+    @property
+    def read_amplification(self) -> float:
+        if not self.demanded_bytes:
+            return 0.0
+        return self.traffic_bytes / self.demanded_bytes
+
+
+class StorageSystem(abc.ABC):
+    """Base class: device + file system + descriptor table + metering."""
+
+    #: Registry name; subclasses override.
+    NAME = "abstract"
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.device = SSDDevice(config)
+        self.fs = ExtentFileSystem(
+            total_pages=config.ssd.total_pages, page_size=config.ssd.page_size
+        )
+        self.files = FileTable(config)
+        self.latency = LatencyRecorder()
+        self.reads = 0
+        self.writes = 0
+
+    # --- namespace helpers -------------------------------------------------
+    def create_file(self, path: str, size: int) -> None:
+        """Create a pre-imaged file (parents created as needed)."""
+        parent = path.rsplit("/", 1)[0]
+        if parent and not self.fs.exists(parent):
+            self.fs.makedirs(parent)
+        self.fs.create(path, size)
+
+    def open(self, path: str, flags: int = O_RDONLY) -> int:
+        """Open a file; returns a descriptor."""
+        inode = self.fs.lookup(path)
+        inode.require_file()
+        entry = self.files.install(inode, flags)
+        self._on_open(entry)
+        return entry.fd
+
+    def close(self, fd: int) -> None:
+        self.files.close(fd)
+
+    # --- I/O -----------------------------------------------------------------
+    def read(self, fd: int, offset: int, size: int) -> bytes | None:
+        """POSIX-style positional read with full metering."""
+        entry = self.files.get(fd)
+        data, latency_ns = self._read(entry, offset, size)
+        self.device.traffic.demand(size)
+        self.latency.record(latency_ns, key=size)
+        self.reads += 1
+        return data
+
+    def write(self, fd: int, offset: int, data: bytes) -> None:
+        """POSIX-style positional write.
+
+        Device reads triggered inside (read-modify-write of partial
+        pages) are attributed to the write path, keeping the read
+        I/O-traffic metric comparable to the paper's.
+        """
+        entry = self.files.get(fd)
+        self.device.traffic.write_context = True
+        try:
+            self._write(entry, offset, data)
+        finally:
+            self.device.traffic.write_context = False
+        self.writes += 1
+
+    def fsync(self, fd: int) -> None:
+        entry = self.files.get(fd)
+        self._fsync(entry)
+
+    # --- subclass hooks --------------------------------------------------------
+    def _on_open(self, entry: OpenFile) -> None:
+        """Hook for per-file framework state (Pipette's lookup tables)."""
+
+    @abc.abstractmethod
+    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
+        """Service one read; returns (data or None, latency_ns)."""
+
+    @abc.abstractmethod
+    def _write(self, entry: OpenFile, offset: int, data: bytes) -> None:
+        """Service one write."""
+
+    def _fsync(self, entry: OpenFile) -> None:
+        """Flush durable state (default: nothing to do)."""
+
+    # --- results -----------------------------------------------------------------
+    def cache_stats(self) -> dict[str, float]:
+        """Hit ratios / memory usage for the paper's Table 4 (override)."""
+        return {}
+
+    def result(self) -> SystemResult:
+        """Snapshot the run's metrics."""
+        resources = self.device.resources
+        return SystemResult(
+            name=self.NAME,
+            requests=self.reads,
+            demanded_bytes=self.device.traffic.demanded_bytes,
+            traffic_bytes=self.device.traffic.device_to_host_bytes,
+            elapsed_ns=resources.bottleneck_time_ns(),
+            mean_latency_ns=self.latency.mean_ns(),
+            latency=self.latency.stats(),
+            bottleneck=resources.bottleneck_resource(),
+            cache_stats=self.cache_stats(),
+        )
+
+
+#: name -> system class; populated by the baseline and core modules.
+SYSTEM_REGISTRY: dict[str, type[StorageSystem]] = {}
+
+
+def register_system(cls: type[StorageSystem]) -> type[StorageSystem]:
+    """Class decorator adding a system to the registry."""
+    if cls.NAME in SYSTEM_REGISTRY:
+        raise ValueError(f"duplicate system name {cls.NAME!r}")
+    SYSTEM_REGISTRY[cls.NAME] = cls
+    return cls
+
+
+def available_systems() -> list[str]:
+    """Names accepted by :func:`build_system` (paper's five systems)."""
+    _ensure_registered()
+    return sorted(SYSTEM_REGISTRY)
+
+
+def build_system(name: str, config: SimConfig | None = None) -> StorageSystem:
+    """Construct a system by registry name."""
+    _ensure_registered()
+    cls = SYSTEM_REGISTRY.get(name)
+    if cls is None:
+        raise KeyError(f"unknown system {name!r}; choose from {sorted(SYSTEM_REGISTRY)}")
+    return cls(config or SimConfig())
+
+
+def _ensure_registered() -> None:
+    # Imported lazily to avoid a cycle (those modules import this one).
+    import repro.baselines  # noqa: F401
+    import repro.core.fine_write  # noqa: F401
+    import repro.core.framework  # noqa: F401
+    import repro.core.variants  # noqa: F401
+
+
+__all__ = [
+    "StorageSystem",
+    "SystemResult",
+    "available_systems",
+    "build_system",
+    "register_system",
+]

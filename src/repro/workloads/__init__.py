@@ -1,0 +1,26 @@
+"""Workload generators: Table 1 synthetics and application traces."""
+
+from repro.workloads.recommender import RecommenderConfig, recommender_trace
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+from repro.workloads.synthetic import (
+    SYNTHETIC_MIXES,
+    SyntheticConfig,
+    synthetic_trace,
+)
+from repro.workloads.trace import FileSpec, ReadOp, Trace, WriteOp
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "FileSpec",
+    "ReadOp",
+    "RecommenderConfig",
+    "SYNTHETIC_MIXES",
+    "SocialGraphConfig",
+    "SyntheticConfig",
+    "Trace",
+    "WriteOp",
+    "ZipfSampler",
+    "recommender_trace",
+    "social_graph_trace",
+    "synthetic_trace",
+]

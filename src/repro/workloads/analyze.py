@@ -1,0 +1,147 @@
+"""Workload characterization: is this trace "Pipette-shaped"?
+
+Computes the statistics that predict how much a fine-grained read cache
+can help: request-size distribution (how dominant are sub-page reads),
+object popularity (zipf-like skew), reuse fraction, page-level working
+set vs byte-level working set (the read-amplification headroom), and an
+LRU reuse-distance profile (hit ratio as a function of cache size,
+computed exactly with a single pass).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+
+from repro.workloads.trace import ReadOp, Trace, WriteOp
+
+
+@dataclass
+class WorkloadProfile:
+    """Aggregate statistics of one trace."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    min_read: int = 1 << 62
+    max_read: int = 0
+    sub_page_reads: int = 0
+    #: Distinct (path, offset, size) ranges observed in reads.
+    distinct_ranges: int = 0
+    #: Reads whose exact range was seen before (upper-bounds FGRC hits).
+    repeated_reads: int = 0
+    #: Distinct 4 KiB pages touched by reads.
+    distinct_pages: int = 0
+    #: Bytes of the byte-granular working set (sum of distinct ranges).
+    fine_working_set_bytes: int = 0
+    top_range_share: float = 0.0
+    #: (cache_items, hit_ratio) points of the exact LRU curve.
+    lru_curve: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def mean_read(self) -> float:
+        return self.read_bytes / self.reads if self.reads else 0.0
+
+    @property
+    def sub_page_fraction(self) -> float:
+        return self.sub_page_reads / self.reads if self.reads else 0.0
+
+    @property
+    def reuse_fraction(self) -> float:
+        return self.repeated_reads / self.reads if self.reads else 0.0
+
+    @property
+    def page_working_set_bytes(self) -> int:
+        return self.distinct_pages * 4096
+
+    @property
+    def amplification_headroom(self) -> float:
+        """Page working set / fine working set: Pipette's memory edge."""
+        if not self.fine_working_set_bytes:
+            return 0.0
+        return self.page_working_set_bytes / self.fine_working_set_bytes
+
+
+def characterize(
+    trace: Trace,
+    *,
+    page_size: int = 4096,
+    lru_points: tuple[int, ...] = (1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16),
+) -> WorkloadProfile:
+    """Single-pass exact characterization of a trace."""
+    profile = WorkloadProfile()
+    seen_ranges: set[tuple[str, int, int]] = set()
+    pages: set[tuple[str, int]] = set()
+    counts: Counter = Counter()
+    # Exact LRU simulation at several capacities simultaneously:
+    # one ordered dict per capacity point (ranges are the cache unit).
+    lru_stacks: dict[int, OrderedDict] = {point: OrderedDict() for point in lru_points}
+    lru_hits: dict[int, int] = {point: 0 for point in lru_points}
+
+    for op in trace.ops():
+        if isinstance(op, WriteOp):
+            profile.writes += 1
+            profile.write_bytes += op.size
+            continue
+        assert isinstance(op, ReadOp)
+        profile.reads += 1
+        profile.read_bytes += op.size
+        profile.min_read = min(profile.min_read, op.size)
+        profile.max_read = max(profile.max_read, op.size)
+        if op.size < page_size:
+            profile.sub_page_reads += 1
+        key = (op.path, op.offset, op.size)
+        if key in seen_ranges:
+            profile.repeated_reads += 1
+        else:
+            seen_ranges.add(key)
+            profile.fine_working_set_bytes += op.size
+        counts[key] += 1
+        first = op.offset // page_size
+        last = (op.offset + op.size - 1) // page_size
+        for page in range(first, last + 1):
+            pages.add((op.path, page))
+        for capacity, stack in lru_stacks.items():
+            if key in stack:
+                stack.move_to_end(key)
+                lru_hits[capacity] += 1
+            else:
+                stack[key] = None
+                if len(stack) > capacity:
+                    stack.popitem(last=False)
+
+    profile.distinct_ranges = len(seen_ranges)
+    profile.distinct_pages = len(pages)
+    if profile.reads:
+        most_common = counts.most_common(1)
+        profile.top_range_share = most_common[0][1] / profile.reads if most_common else 0.0
+        profile.lru_curve = [
+            (capacity, lru_hits[capacity] / profile.reads) for capacity in lru_points
+        ]
+    return profile
+
+
+def render_profile(trace_name: str, profile: WorkloadProfile) -> str:
+    """Human-readable characterization report."""
+    lines = [
+        f"Workload profile: {trace_name}",
+        f"  reads/writes        : {profile.reads:,} / {profile.writes:,}",
+        f"  read sizes          : min {profile.min_read} B, mean "
+        f"{profile.mean_read:.1f} B, max {profile.max_read} B",
+        f"  sub-page reads      : {100 * profile.sub_page_fraction:.1f}%",
+        f"  exact-range reuse   : {100 * profile.reuse_fraction:.1f}%",
+        f"  hottest range share : {100 * profile.top_range_share:.2f}% of reads",
+        f"  fine working set    : {profile.fine_working_set_bytes / 2**20:.2f} MiB "
+        f"({profile.distinct_ranges:,} ranges)",
+        f"  page working set    : {profile.page_working_set_bytes / 2**20:.2f} MiB "
+        f"({profile.distinct_pages:,} pages)",
+        f"  amplification room  : {profile.amplification_headroom:.1f}x",
+        "  LRU hit-ratio curve :",
+    ]
+    for capacity, ratio in profile.lru_curve:
+        lines.append(f"    {capacity:>8,} cached ranges -> {100 * ratio:5.1f}% hits")
+    return "\n".join(lines)
+
+
+__all__ = ["WorkloadProfile", "characterize", "render_profile"]

@@ -1,0 +1,147 @@
+"""`pipette-trace`: generate, inspect, characterize and replay traces.
+
+Usage::
+
+    pipette-trace generate synthetic -o e.trace --workload E --requests 50000
+    pipette-trace generate recommender -o rec.trace
+    pipette-trace info e.trace
+    pipette-trace characterize e.trace
+    pipette-trace replay e.trace --system pipette --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import MIB
+from repro.experiments.runner import run_trace_on
+from repro.experiments.scale import SCALES, get_scale
+from repro.workloads.analyze import characterize, render_profile
+from repro.workloads.recommender import RecommenderConfig, recommender_trace
+from repro.workloads.search import SearchConfig, search_trace
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+from repro.workloads.trace import Trace
+from repro.workloads.traceio import load_trace, save_trace
+from repro.workloads.ycsb import YcsbConfig, ycsb_trace
+
+GENERATORS = ("synthetic", "recommender", "socialgraph", "search", "ycsb")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pipette-trace", description="Workload trace tooling."
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate and save a trace")
+    generate.add_argument("kind", choices=GENERATORS)
+    generate.add_argument("-o", "--output", required=True, help="output .trace path")
+    generate.add_argument("--requests", type=int, default=20_000)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--workload", default="E", choices=list("ABCDE"))
+    generate.add_argument(
+        "--distribution", default="zipfian", choices=("uniform", "zipfian")
+    )
+    generate.add_argument("--file-mib", type=int, default=32)
+    generate.add_argument("--nodes", type=int, default=65_536)
+    generate.add_argument("--tables", type=int, default=8)
+    generate.add_argument("--queries", type=int, default=10_000)
+    generate.add_argument(
+        "--ycsb-workload", default="B", choices=list("ABCDEF"), dest="ycsb_workload"
+    )
+
+    info = commands.add_parser("info", help="print a trace file's header")
+    info.add_argument("trace")
+
+    profile = commands.add_parser("characterize", help="analyze access patterns")
+    profile.add_argument("trace")
+
+    replay = commands.add_parser("replay", help="run a trace on a system")
+    replay.add_argument("trace")
+    replay.add_argument("--system", default="pipette")
+    replay.add_argument("--scale", default=None, choices=sorted(SCALES))
+    return parser
+
+
+def _generate(args: argparse.Namespace) -> Trace:
+    if args.kind == "synthetic":
+        return synthetic_trace(
+            SyntheticConfig(
+                workload=args.workload,
+                distribution=args.distribution,
+                requests=args.requests,
+                file_size=args.file_mib * MIB,
+                seed=args.seed,
+            )
+        )
+    if args.kind == "recommender":
+        return recommender_trace(
+            RecommenderConfig(
+                tables=args.tables,
+                total_table_bytes=args.file_mib * MIB,
+                inferences=max(1, args.requests // args.tables),
+                seed=args.seed,
+            )
+        )
+    if args.kind == "socialgraph":
+        return social_graph_trace(
+            SocialGraphConfig(
+                nodes=args.nodes, operations=args.requests, seed=args.seed
+            )
+        )
+    if args.kind == "ycsb":
+        return ycsb_trace(
+            YcsbConfig(
+                workload=args.ycsb_workload,
+                operations=args.requests,
+                seed=args.seed,
+            )
+        )
+    return search_trace(SearchConfig(queries=args.queries, seed=args.seed))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "generate":
+        trace = _generate(args)
+        count = save_trace(trace, args.output)
+        print(f"wrote {count:,} ops ({trace.name}) to {args.output}")
+        return 0
+
+    if args.command == "info":
+        trace = load_trace(args.trace)
+        print(f"name : {trace.name}")
+        print(f"files: {len(trace.files)}")
+        for spec in trace.files:
+            print(f"  {spec.path}  {spec.size:,} B")
+        print(f"ops  : {trace.count_ops():,}")
+        for key, value in sorted(trace.metadata.items()):
+            print(f"  {key} = {value}")
+        return 0
+
+    if args.command == "characterize":
+        trace = load_trace(args.trace)
+        print(render_profile(trace.name, characterize(trace)))
+        return 0
+
+    # replay
+    trace = load_trace(args.trace)
+    config = get_scale(args.scale).sim_config()
+    result = run_trace_on(args.system, trace, config)
+    print(f"system            : {args.system}")
+    print(f"requests          : {result.requests:,}")
+    print(f"mean latency      : {result.mean_latency_ns / 1000:.2f} us (simulated)")
+    print(f"throughput        : {result.throughput_ops:,.0f} ops/s (simulated)")
+    print(f"I/O traffic       : {result.traffic_mib:.2f} MiB")
+    print(f"read amplification: {result.read_amplification:.2f}x")
+    for key, value in sorted(result.cache_stats.items()):
+        if key.endswith("hit_ratio"):
+            print(f"{key:<18}: {100 * value:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Trace interleaving: run several workloads against one system.
+
+Real deployments do not run one tenant at a time; interleaving the
+recommender's 128 B lookups with the social graph's variable-size
+records stresses exactly the mechanisms the paper builds for drift —
+per-slab-class balance, the reassignment maintenance thread, and the
+adaptive threshold — inside a single cache instance.
+
+``interleave`` merges traces with a deterministic weighted round-robin
+(weights = remaining op counts, so the mix stays proportional end to
+end rather than exhausting one trace first).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.trace import FileSpec, Op, Trace
+
+
+def interleave(traces: list[Trace], *, name: str | None = None) -> Trace:
+    """Merge traces into one, proportionally interleaved."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    paths: dict[str, FileSpec] = {}
+    for trace in traces:
+        for spec in trace.files:
+            existing = paths.get(spec.path)
+            if existing is not None and existing.size != spec.size:
+                raise ValueError(
+                    f"file {spec.path} declared with conflicting sizes "
+                    f"({existing.size} vs {spec.size})"
+                )
+            paths[spec.path] = spec
+
+    counts = [trace.count_ops() for trace in traces]
+
+    def build() -> Iterator[Op]:
+        iterators = [iter(trace.ops()) for trace in traces]
+        remaining = list(counts)
+        total = sum(remaining)
+        # Largest-remainder round-robin: at every step emit from the
+        # trace with the highest remaining/total deficit.
+        emitted = [0] * len(traces)
+        for step in range(total):
+            best = -1
+            best_deficit = -1.0
+            for index, count in enumerate(counts):
+                if emitted[index] >= count:
+                    continue
+                expected = count * (step + 1) / total
+                deficit = expected - emitted[index]
+                if deficit > best_deficit:
+                    best_deficit = deficit
+                    best = index
+            op = next(iterators[best])
+            emitted[best] += 1
+            yield op
+
+    return Trace(
+        name=name or "+".join(trace.name for trace in traces),
+        files=list(paths.values()),
+        build_ops=build,
+        metadata={
+            "components": [trace.name for trace in traces],
+            "ops_per_component": counts,
+        },
+    )
+
+
+__all__ = ["interleave"]

@@ -1,0 +1,147 @@
+"""Search-engine workload: flash-resident inverted index (WiSER-style).
+
+The paper's introduction names search engines as the third fine-grained-
+read-dominated application class, citing WiSER [He et al., FAST'20],
+which reads posting lists from flash "as needed".  This workload models
+that pattern as an *extension* beyond the paper's evaluated apps:
+
+- an inverted index file holds per-term posting lists laid out back to
+  back; list length follows the classic power-law term-frequency curve
+  (a few stop-word-like terms have long lists, the long tail is tiny);
+- a query samples a handful of terms zipf-popularly and reads each
+  term's posting list (typically tens to hundreds of bytes, crossing
+  into a few KiB only for the head terms);
+- a small document-store file serves "snippet" reads for the top hit.
+
+All reads are fine-grained and skewed — the regime Pipette targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.trace import FileSpec, ReadOp, Trace
+from repro.workloads.zipf import ScatteredZipf
+
+INDEX_FILE = "/data/search/postings.idx"
+DOCS_FILE = "/data/search/docstore.bin"
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Parameters of the inverted-index workload."""
+
+    terms: int = 65_536
+    #: Bytes per posting entry (doc id + positions delta-coded).
+    posting_entry_bytes: int = 6
+    #: Power-law exponent of term document frequency.
+    df_exponent: float = 1.3
+    #: Longest allowed posting list, in entries.
+    max_postings: int = 512
+    documents: int = 32_768
+    snippet_bytes: int = 160
+    queries: int = 10_000
+    terms_per_query: int = 3
+    #: Popularity skew of query terms.
+    query_alpha: float = 1.0
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.terms <= 0 or self.documents <= 0 or self.queries <= 0:
+            raise ValueError("terms, documents and queries must be positive")
+        if self.terms_per_query <= 0:
+            raise ValueError("terms_per_query must be positive")
+
+
+@dataclass(frozen=True)
+class IndexLayout:
+    """On-flash layout of the inverted index."""
+
+    posting_offsets: np.ndarray  # (terms + 1,)
+    doc_offsets: np.ndarray  # (documents + 1,)
+
+    @property
+    def index_file_size(self) -> int:
+        return int(self.posting_offsets[-1])
+
+    @property
+    def docs_file_size(self) -> int:
+        return int(self.doc_offsets[-1])
+
+    def posting_list(self, term: int) -> tuple[int, int]:
+        start = int(self.posting_offsets[term])
+        return start, int(self.posting_offsets[term + 1]) - start
+
+    def snippet(self, document: int) -> tuple[int, int]:
+        start = int(self.doc_offsets[document])
+        return start, int(self.doc_offsets[document + 1]) - start
+
+
+def build_index_layout(config: SearchConfig) -> IndexLayout:
+    """Deterministic index layout from the term-frequency power law."""
+    rng = np.random.default_rng(config.seed)
+    ranks = np.arange(1, config.terms + 1, dtype=float)
+    # Document frequency ~ rank^-exponent, scaled into [1, max_postings].
+    df = np.maximum(1, (config.max_postings * ranks**-config.df_exponent)).astype(np.int64)
+    # Scatter so hot terms are not physically adjacent in the file.
+    permutation = rng.permutation(config.terms)
+    df = df[permutation]
+    list_bytes = df * config.posting_entry_bytes
+    posting_offsets = np.zeros(config.terms + 1, dtype=np.int64)
+    np.cumsum(list_bytes, out=posting_offsets[1:])
+
+    snippet_sizes = np.full(config.documents, config.snippet_bytes, dtype=np.int64)
+    doc_offsets = np.zeros(config.documents + 1, dtype=np.int64)
+    np.cumsum(snippet_sizes, out=doc_offsets[1:])
+    return IndexLayout(posting_offsets=posting_offsets, doc_offsets=doc_offsets)
+
+
+def search_trace(config: SearchConfig) -> Trace:
+    """Build the query trace over the index + docstore files."""
+    layout = build_index_layout(config)
+
+    def build() -> Iterator[ReadOp]:
+        rng = random.Random(config.seed + 1)
+        # Hot terms are scattered over the index file (vocabulary order
+        # is unrelated to popularity), like hot documents below.
+        term_pick = ScatteredZipf(config.terms, config.query_alpha, rng)
+        # Result clicks follow document popularity (head documents are
+        # returned and fetched far more often than the tail).
+        doc_pick = ScatteredZipf(config.documents, config.query_alpha, rng)
+        for _ in range(config.queries):
+            for _ in range(config.terms_per_query):
+                offset, size = layout.posting_list(term_pick.sample())
+                yield ReadOp(INDEX_FILE, offset, size)
+            # Fetch the snippet of the top-ranked document.
+            offset, size = layout.snippet(doc_pick.sample())
+            yield ReadOp(DOCS_FILE, offset, size)
+
+    return Trace(
+        name="search-engine",
+        files=[
+            FileSpec(INDEX_FILE, layout.index_file_size),
+            FileSpec(DOCS_FILE, layout.docs_file_size),
+        ],
+        build_ops=build,
+        metadata={
+            "terms": config.terms,
+            "documents": config.documents,
+            "queries": config.queries,
+            "reads_per_query": config.terms_per_query + 1,
+            "index_file_size": layout.index_file_size,
+        },
+    )
+
+
+__all__ = [
+    "DOCS_FILE",
+    "INDEX_FILE",
+    "IndexLayout",
+    "SearchConfig",
+    "build_index_layout",
+    "search_trace",
+]

@@ -1,0 +1,210 @@
+"""Social-graph workload modelled on LinkBench (paper section 4.3).
+
+LinkBench [Armstrong et al., SIGMOD'13] replays Facebook's social-graph
+access patterns: small node objects (87.6 B average) and tiny edge
+("link") objects (11.3 B average — the sizes the paper's Figure 1
+quotes), accessed with a strongly skewed popularity and an operation
+mix dominated by ``GET_LINKS_LIST`` and ``GET_NODE``.
+
+The storage layout is a node file (variable-size records back to back)
+and an edge file (per-node contiguous edge runs), with offsets
+precomputed deterministically.  Update operations become writes to the
+same records, exercising Pipette's write-invalidation consistency rule;
+``ADD``/``DELETE`` operations are mapped to in-place record rewrites so
+the layout stays static (documented substitution — the paper's
+evaluation is read-dominated, and layout churn is orthogonal to the
+read path under test).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.trace import FileSpec, Op, ReadOp, Trace, WriteOp
+from repro.workloads.zipf import ScatteredZipf
+
+NODE_FILE = "/data/socialgraph/nodes.bin"
+EDGE_FILE = "/data/socialgraph/edges.bin"
+
+#: LinkBench default operation mix (probabilities; reads + updates).
+OP_MIX: list[tuple[str, float]] = [
+    ("get_links_list", 0.525),
+    ("get_node", 0.129),
+    ("count_link", 0.049),
+    ("get_link", 0.005),
+    ("update_node", 0.074),
+    ("update_link", 0.080),
+    ("add_link", 0.090),
+    ("add_node", 0.026),
+    ("delete_link", 0.012),
+    ("delete_node", 0.010),
+]
+
+
+@dataclass(frozen=True)
+class SocialGraphConfig:
+    """Parameters of the social-graph trace."""
+
+    nodes: int = 65_536
+    mean_out_degree: float = 4.0
+    max_out_degree: int = 64
+    #: Target mean node payload (paper Figure 1: 87.6 B).
+    node_mean_bytes: float = 87.6
+    #: Edge payloads are 8..15 B (mean ~11.3 B, paper Figure 1).
+    edge_min_bytes: int = 8
+    edge_size_spread: int = 8
+    operations: int = 100_000
+    zipf_alpha: float = 0.95
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0 or self.operations <= 0:
+            raise ValueError("nodes and operations must be positive")
+        if self.mean_out_degree <= 0 or self.max_out_degree < 1:
+            raise ValueError("invalid degree parameters")
+
+
+@dataclass(frozen=True)
+class GraphLayout:
+    """Deterministic on-SSD layout of the graph."""
+
+    node_offsets: np.ndarray  # (nodes + 1,) byte offsets in NODE_FILE
+    edge_run_first: np.ndarray  # (nodes,) first edge index of each node
+    edge_offsets: np.ndarray  # (edges + 1,) byte offsets in EDGE_FILE
+    degrees: np.ndarray  # (nodes,)
+
+    @property
+    def node_file_size(self) -> int:
+        return int(self.node_offsets[-1])
+
+    @property
+    def edge_file_size(self) -> int:
+        return int(self.edge_offsets[-1])
+
+    @property
+    def total_edges(self) -> int:
+        return int(self.edge_offsets.shape[0] - 1)
+
+    def node_record(self, node: int) -> tuple[int, int]:
+        """(offset, size) of a node record."""
+        start = int(self.node_offsets[node])
+        return start, int(self.node_offsets[node + 1]) - start
+
+    def edge_record(self, node: int, index: int) -> tuple[int, int]:
+        """(offset, size) of one edge record of a node."""
+        edge = int(self.edge_run_first[node]) + index
+        start = int(self.edge_offsets[edge])
+        return start, int(self.edge_offsets[edge + 1]) - start
+
+    def edge_run(self, node: int) -> tuple[int, int]:
+        """(offset, size) of a node's whole contiguous edge run."""
+        first = int(self.edge_run_first[node])
+        degree = int(self.degrees[node])
+        start = int(self.edge_offsets[first])
+        end = int(self.edge_offsets[first + degree])
+        return start, end - start
+
+
+def build_layout(config: SocialGraphConfig) -> GraphLayout:
+    """Generate the deterministic graph layout."""
+    rng = np.random.default_rng(config.seed)
+    # Node payloads: lognormal, clamped, scaled to the target mean.
+    sigma = 0.8
+    mu = float(np.log(config.node_mean_bytes)) - sigma * sigma / 2.0
+    node_sizes = np.clip(rng.lognormal(mu, sigma, config.nodes), 16, 1024).astype(np.int64)
+    node_offsets = np.zeros(config.nodes + 1, dtype=np.int64)
+    np.cumsum(node_sizes, out=node_offsets[1:])
+
+    # Out-degrees: geometric-ish power tail, clamped, at least one edge.
+    degrees = 1 + rng.geometric(1.0 / config.mean_out_degree, config.nodes)
+    degrees = np.minimum(degrees, config.max_out_degree).astype(np.int64)
+    edge_run_first = np.zeros(config.nodes, dtype=np.int64)
+    np.cumsum(degrees[:-1], out=edge_run_first[1:])
+    total_edges = int(degrees.sum())
+
+    edge_sizes = config.edge_min_bytes + rng.integers(
+        0, config.edge_size_spread, total_edges, dtype=np.int64
+    )
+    edge_offsets = np.zeros(total_edges + 1, dtype=np.int64)
+    np.cumsum(edge_sizes, out=edge_offsets[1:])
+    return GraphLayout(
+        node_offsets=node_offsets,
+        edge_run_first=edge_run_first,
+        edge_offsets=edge_offsets,
+        degrees=degrees,
+    )
+
+
+def social_graph_trace(config: SocialGraphConfig) -> Trace:
+    """Build the LinkBench-style trace."""
+    layout = build_layout(config)
+    op_names = [name for name, _ in OP_MIX]
+    cumulative: list[float] = []
+    running = 0.0
+    for _, probability in OP_MIX:
+        running += probability
+        cumulative.append(running)
+
+    def pick_op(value: float) -> str:
+        for name, bound in zip(op_names, cumulative):
+            if value < bound:
+                return name
+        return op_names[-1]
+
+    def build() -> Iterator[Op]:
+        rng = random.Random(config.seed + 1)
+        node_pick = ScatteredZipf(config.nodes, config.zipf_alpha, rng)
+        for op_index in range(config.operations):
+            kind = pick_op(rng.random())
+            node = node_pick.sample()
+            if kind in ("get_node",):
+                offset, size = layout.node_record(node)
+                yield ReadOp(NODE_FILE, offset, size)
+            elif kind in ("get_links_list", "count_link"):
+                offset, size = layout.edge_run(node)
+                yield ReadOp(EDGE_FILE, offset, size)
+            elif kind == "get_link":
+                degree = int(layout.degrees[node])
+                offset, size = layout.edge_record(node, rng.randrange(degree))
+                yield ReadOp(EDGE_FILE, offset, size)
+            elif kind in ("update_node", "add_node", "delete_node"):
+                offset, size = layout.node_record(node)
+                yield WriteOp(NODE_FILE, offset, size, seed=op_index)
+            else:  # update_link, add_link, delete_link
+                degree = int(layout.degrees[node])
+                offset, size = layout.edge_record(node, rng.randrange(degree))
+                yield WriteOp(EDGE_FILE, offset, size, seed=op_index)
+
+    return Trace(
+        name="social-graph",
+        files=[
+            FileSpec(NODE_FILE, layout.node_file_size),
+            FileSpec(EDGE_FILE, layout.edge_file_size),
+        ],
+        build_ops=build,
+        metadata={
+            "nodes": config.nodes,
+            "edges": layout.total_edges,
+            "operations": config.operations,
+            "node_file_size": layout.node_file_size,
+            "edge_file_size": layout.edge_file_size,
+            "mean_node_bytes": float(
+                (layout.node_offsets[-1]) / config.nodes
+            ),
+        },
+    )
+
+
+__all__ = [
+    "EDGE_FILE",
+    "GraphLayout",
+    "NODE_FILE",
+    "OP_MIX",
+    "SocialGraphConfig",
+    "build_layout",
+    "social_graph_trace",
+]

@@ -1,0 +1,124 @@
+"""Synthetic workloads of the paper's Table 1.
+
+Five mixes A-E vary the large/small read ratio from 100/0 to 0/100
+(small = 128 B, large = 4096 B by default); file offsets follow either
+a uniform or a zipfian (alpha = 0.8) distribution.  The paper issues
+2.5 M requests against the file; request counts and file sizes here are
+scaled by the experiment harness (see ``repro.experiments.scale``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.config import MIB
+from repro.workloads.trace import FileSpec, ReadOp, Trace
+from repro.workloads.zipf import ScatteredZipf
+
+#: Table 1: workload name -> (large ratio, small ratio).
+SYNTHETIC_MIXES: dict[str, tuple[float, float]] = {
+    "A": (1.0, 0.0),
+    "B": (0.9, 0.1),
+    "C": (0.5, 0.5),
+    "D": (0.1, 0.9),
+    "E": (0.0, 1.0),
+}
+
+SYNTHETIC_FILE = "/data/synthetic.bin"
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one synthetic run."""
+
+    workload: str = "E"
+    distribution: str = "uniform"  # "uniform" | "zipfian"
+    requests: int = 100_000
+    file_size: int = 64 * MIB
+    small_size: int = 128
+    large_size: int = 4096
+    zipf_alpha: float = 0.8
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.workload not in SYNTHETIC_MIXES:
+            raise ValueError(f"unknown workload {self.workload!r}; expected A-E")
+        if self.distribution not in ("uniform", "zipfian"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if self.small_size <= 0 or self.large_size < self.small_size:
+            raise ValueError("invalid read sizes")
+        if self.file_size % self.large_size:
+            raise ValueError("file size must be a multiple of the large read size")
+
+
+def synthetic_trace(config: SyntheticConfig) -> Trace:
+    """Build the trace for one Table 1 workload."""
+    large_ratio, small_ratio = SYNTHETIC_MIXES[config.workload]
+    small_slots = config.file_size // config.small_size
+
+    def build() -> Iterator[ReadOp]:
+        # One offset distribution drives every request regardless of its
+        # size (large reads align the sampled offset down): the paper
+        # observes that "the location distribution, instead of size
+        # distribution, determines which pages are read", making block
+        # I/O traffic identical across the five mixes.
+        rng = random.Random(config.seed)
+        small_pick = (
+            ScatteredZipf(small_slots, config.zipf_alpha, rng)
+            if config.distribution == "zipfian"
+            else None
+        )
+        for _ in range(config.requests):
+            is_large = rng.random() < large_ratio
+            slot = small_pick.sample() if small_pick is not None else rng.randrange(small_slots)
+            offset = slot * config.small_size
+            if is_large:
+                offset = (offset // config.large_size) * config.large_size
+                yield ReadOp(SYNTHETIC_FILE, offset, config.large_size)
+            else:
+                yield ReadOp(SYNTHETIC_FILE, offset, config.small_size)
+
+    return Trace(
+        name=f"synthetic-{config.workload}-{config.distribution}",
+        files=[FileSpec(SYNTHETIC_FILE, config.file_size)],
+        build_ops=build,
+        metadata={
+            "workload": config.workload,
+            "distribution": config.distribution,
+            "requests": config.requests,
+            "large_ratio": large_ratio,
+            "small_ratio": small_ratio,
+            "file_size": config.file_size,
+        },
+    )
+
+
+def size_sweep_trace(
+    config: SyntheticConfig, read_size: int
+) -> Trace:
+    """Paper Fig. 8 variant: workload E with one fixed request size."""
+    if config.file_size % read_size:
+        raise ValueError("file size must be a multiple of the read size")
+    slots = config.file_size // read_size
+
+    def build() -> Iterator[ReadOp]:
+        rng = random.Random(config.seed)
+        if config.distribution == "zipfian":
+            pick = ScatteredZipf(slots, config.zipf_alpha, rng)
+            for _ in range(config.requests):
+                yield ReadOp(SYNTHETIC_FILE, pick.sample() * read_size, read_size)
+        else:
+            for _ in range(config.requests):
+                yield ReadOp(SYNTHETIC_FILE, rng.randrange(slots) * read_size, read_size)
+
+    return Trace(
+        name=f"size-sweep-{read_size}B-{config.distribution}",
+        files=[FileSpec(SYNTHETIC_FILE, config.file_size)],
+        build_ops=build,
+        metadata={"read_size": read_size, "requests": config.requests},
+    )
+
+
+__all__ = ["SYNTHETIC_FILE", "SYNTHETIC_MIXES", "SyntheticConfig", "size_sweep_trace", "synthetic_trace"]

@@ -1,0 +1,78 @@
+"""Trace model: file set + deterministic, re-iterable operation stream.
+
+A trace is consumed once per evaluated system, so operations are
+produced by a deterministic builder function rather than stored — every
+system sees byte-identical request sequences without holding millions
+of op objects in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """A file the trace expects to exist (pre-imaged to ``size``)."""
+
+    path: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError("file paths must be absolute")
+        if self.size <= 0:
+            raise ValueError("files must be non-empty")
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """One positional read."""
+
+    path: str
+    offset: int
+    size: int
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One positional write; payload is derived deterministically."""
+
+    path: str
+    offset: int
+    size: int
+    seed: int = 0
+
+    def payload(self) -> bytes:
+        """Deterministic write payload (recomputable by tests)."""
+        fill = (0xA5 ^ (self.seed * 131 + self.offset)) & 0xFF
+        return bytes([fill]) * self.size
+
+
+Op = ReadOp | WriteOp
+
+
+@dataclass
+class Trace:
+    """A named workload: files + an op-stream builder."""
+
+    name: str
+    files: list[FileSpec]
+    build_ops: Callable[[], Iterable[Op]]
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def ops(self) -> Iterator[Op]:
+        """Fresh, deterministic iteration of the operation stream."""
+        return iter(self.build_ops())
+
+    def count_ops(self) -> int:
+        """Number of operations (walks the stream once)."""
+        return sum(1 for _ in self.ops())
+
+    def demanded_bytes(self) -> int:
+        """Total bytes read ops will demand (walks the stream once)."""
+        return sum(op.size for op in self.ops() if isinstance(op, ReadOp))
+
+
+__all__ = ["FileSpec", "Op", "ReadOp", "Trace", "WriteOp"]

@@ -1,0 +1,124 @@
+"""Binary trace files: capture a workload once, replay it anywhere.
+
+Format (little-endian)::
+
+    magic   4s   b"PIPT"
+    version u16  (currently 1)
+    name    u16 length + utf-8 bytes
+    meta    u32 length + utf-8 JSON (stringified metadata)
+    files   u16 count, then per file: u16 path length + utf-8, u64 size
+    ops     u64 count, then per op:
+              u8  kind (0 = read, 1 = write)
+              u16 file index
+              u64 offset
+              u32 size
+              u32 seed (writes only; 0 for reads)
+
+The writer streams ops from the trace's builder (constant memory); the
+reader materializes compact tuples and rebuilds a normal
+:class:`~repro.workloads.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import struct
+from typing import BinaryIO, Iterator
+
+from repro.workloads.trace import FileSpec, Op, ReadOp, Trace, WriteOp
+
+MAGIC = b"PIPT"
+VERSION = 1
+
+_OP = struct.Struct("<BHQLL")
+
+
+def _write_str(stream: BinaryIO, text: str, fmt: str = "<H") -> None:
+    encoded = text.encode("utf-8")
+    stream.write(struct.pack(fmt, len(encoded)))
+    stream.write(encoded)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise EOFError(f"truncated trace file (wanted {count} bytes, got {len(data)})")
+    return data
+
+
+def _read_str(stream: BinaryIO, fmt: str = "<H") -> str:
+    size = struct.Struct(fmt)
+    (length,) = size.unpack(_read_exact(stream, size.size))
+    return _read_exact(stream, length).decode("utf-8")
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path) -> int:
+    """Write a trace to disk; returns the number of ops written."""
+    file_index = {spec.path: index for index, spec in enumerate(trace.files)}
+    with open(path, "wb") as stream:
+        stream.write(MAGIC)
+        stream.write(struct.pack("<H", VERSION))
+        _write_str(stream, trace.name)
+        meta_blob = json.dumps(trace.metadata, default=str).encode("utf-8")
+        stream.write(struct.pack("<L", len(meta_blob)))
+        stream.write(meta_blob)
+        stream.write(struct.pack("<H", len(trace.files)))
+        for spec in trace.files:
+            _write_str(stream, spec.path)
+            stream.write(struct.pack("<Q", spec.size))
+
+        # Stream ops into a spill buffer first so the count can be
+        # written before the records without a second generator pass.
+        spill = io.BytesIO()
+        count = 0
+        for op in trace.ops():
+            if isinstance(op, ReadOp):
+                record = _OP.pack(0, file_index[op.path], op.offset, op.size, 0)
+            elif isinstance(op, WriteOp):
+                record = _OP.pack(1, file_index[op.path], op.offset, op.size, op.seed)
+            else:  # pragma: no cover - trace model is closed
+                raise TypeError(f"unknown op {op!r}")
+            spill.write(record)
+            count += 1
+        stream.write(struct.pack("<Q", count))
+        stream.write(spill.getvalue())
+    return count
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Read a trace file back into a replayable :class:`Trace`."""
+    with open(path, "rb") as stream:
+        if _read_exact(stream, 4) != MAGIC:
+            raise ValueError(f"{path}: not a Pipette trace file")
+        (version,) = struct.unpack("<H", _read_exact(stream, 2))
+        if version != VERSION:
+            raise ValueError(f"{path}: unsupported trace version {version}")
+        name = _read_str(stream)
+        (meta_length,) = struct.unpack("<L", _read_exact(stream, 4))
+        metadata = json.loads(_read_exact(stream, meta_length).decode("utf-8"))
+        (file_count,) = struct.unpack("<H", _read_exact(stream, 2))
+        files: list[FileSpec] = []
+        for _ in range(file_count):
+            file_path = _read_str(stream)
+            (size,) = struct.unpack("<Q", _read_exact(stream, 8))
+            files.append(FileSpec(file_path, size))
+        (op_count,) = struct.unpack("<Q", _read_exact(stream, 8))
+        records = [
+            _OP.unpack(_read_exact(stream, _OP.size)) for _ in range(op_count)
+        ]
+
+    paths = [spec.path for spec in files]
+
+    def build() -> Iterator[Op]:
+        for kind, index, offset, size, seed in records:
+            if kind == 0:
+                yield ReadOp(paths[index], offset, size)
+            else:
+                yield WriteOp(paths[index], offset, size, seed=seed)
+
+    return Trace(name=name, files=files, build_ops=build, metadata=metadata)
+
+
+__all__ = ["MAGIC", "VERSION", "load_trace", "save_trace"]

@@ -1,0 +1,126 @@
+"""YCSB-style key-value workloads (extension).
+
+The Yahoo! Cloud Serving Benchmark's core workload mixes are the lingua
+franca of KV-store evaluation; a flash-backed KV store issuing
+record-granular reads is exactly the fine-grained regime Pipette
+targets.  Records live back to back in one store file; requests follow
+the standard mixes:
+
+========  =========================  ==========================
+workload  operation mix              request distribution
+A         50% read / 50% update      zipfian
+B         95% read / 5% update       zipfian
+C         100% read                  zipfian
+D         95% read / 5% insert       latest (reads skew to the
+                                     most recently inserted keys)
+F         50% read / 50% RMW         zipfian
+========  =========================  ==========================
+
+(Workload E — short scans — maps to range reads of consecutive
+records.)  Inserts are modelled as writes to a pre-sized tail region so
+the file layout stays static, like the social-graph trace's updates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.trace import FileSpec, Op, ReadOp, Trace, WriteOp
+from repro.workloads.zipf import ScatteredZipf, ZipfSampler
+
+STORE_FILE = "/data/ycsb/store.kv"
+
+#: workload -> (read fraction, update fraction, insert fraction,
+#:              rmw fraction, scan fraction)
+YCSB_MIXES: dict[str, tuple[float, float, float, float, float]] = {
+    "A": (0.50, 0.50, 0.00, 0.00, 0.00),
+    "B": (0.95, 0.05, 0.00, 0.00, 0.00),
+    "C": (1.00, 0.00, 0.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05, 0.00, 0.00),
+    "E": (0.05, 0.00, 0.00, 0.00, 0.95),
+    "F": (0.50, 0.00, 0.00, 0.50, 0.00),
+}
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    """Parameters of one YCSB run."""
+
+    workload: str = "B"
+    records: int = 262_144
+    record_bytes: int = 1024
+    operations: int = 50_000
+    zipf_alpha: float = 0.99  # YCSB's default zipfian constant
+    max_scan_records: int = 16
+    #: Tail region reserved for workload D inserts, in records.
+    insert_headroom: int = 4_096
+    seed: int = 31
+
+    def __post_init__(self) -> None:
+        if self.workload not in YCSB_MIXES:
+            raise ValueError(f"unknown YCSB workload {self.workload!r}")
+        if self.records <= 0 or self.operations <= 0 or self.record_bytes <= 0:
+            raise ValueError("records, operations and record_bytes must be positive")
+
+    @property
+    def store_bytes(self) -> int:
+        return (self.records + self.insert_headroom) * self.record_bytes
+
+
+def ycsb_trace(config: YcsbConfig) -> Trace:
+    """Build the trace for one YCSB workload."""
+    read_f, update_f, insert_f, rmw_f, scan_f = YCSB_MIXES[config.workload]
+
+    def build() -> Iterator[Op]:
+        rng = random.Random(config.seed)
+        zipf_pick = ScatteredZipf(config.records, config.zipf_alpha, rng)
+        latest_rank = ZipfSampler(config.records, config.zipf_alpha, rng)
+        inserted = 0
+        stride = config.record_bytes
+        for op_index in range(config.operations):
+            draw = rng.random()
+            if config.workload == "D":
+                # "Latest": reads cluster on recently inserted keys.
+                if draw < insert_f and inserted < config.insert_headroom:
+                    offset = (config.records + inserted) * stride
+                    inserted += 1
+                    yield WriteOp(STORE_FILE, offset, stride, seed=op_index)
+                else:
+                    back = latest_rank.sample()
+                    newest = config.records + inserted - 1
+                    key = max(0, newest - back)
+                    yield ReadOp(STORE_FILE, key * stride, stride)
+                continue
+            if draw < read_f:
+                yield ReadOp(STORE_FILE, zipf_pick.sample() * stride, stride)
+            elif draw < read_f + update_f:
+                yield WriteOp(
+                    STORE_FILE, zipf_pick.sample() * stride, stride, seed=op_index
+                )
+            elif draw < read_f + update_f + rmw_f:
+                key = zipf_pick.sample()
+                yield ReadOp(STORE_FILE, key * stride, stride)
+                yield WriteOp(STORE_FILE, key * stride, stride, seed=op_index)
+            else:  # scan
+                start = zipf_pick.sample()
+                count = 1 + rng.randrange(config.max_scan_records)
+                count = min(count, config.records - start)
+                yield ReadOp(STORE_FILE, start * stride, count * stride)
+
+    return Trace(
+        name=f"ycsb-{config.workload}",
+        files=[FileSpec(STORE_FILE, config.store_bytes)],
+        build_ops=build,
+        metadata={
+            "workload": config.workload,
+            "records": config.records,
+            "record_bytes": config.record_bytes,
+            "operations": config.operations,
+            "zipf_alpha": config.zipf_alpha,
+        },
+    )
+
+
+__all__ = ["STORE_FILE", "YCSB_MIXES", "YcsbConfig", "ycsb_trace"]

@@ -1,0 +1,106 @@
+"""Zipfian sampling without O(N) memory.
+
+Implements W. Hormann & G. Derflinger's rejection-inversion sampling
+for the Zipf distribution (the algorithm behind Apache Commons Math's
+``RejectionInversionZipfSampler``).  Sampling is O(1) per draw for any
+support size, which matters at paper scale (tens of millions of 128 B
+slots in a multi-GiB file).
+
+Popularity rank follows Zipf; ranks are scattered over the object space
+with a multiplicative permutation so "hot" objects are not physically
+adjacent (matching how hot embeddings or graph nodes are laid out in
+practice).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class ZipfSampler:
+    """Draws ranks in ``[0, n)`` with P(rank k) proportional to 1/(k+1)^alpha."""
+
+    def __init__(self, n: int, alpha: float, rng: random.Random) -> None:
+        if n <= 0:
+            raise ValueError("support size must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng
+        self._h_x1 = self._h_integral(1.5) - 1.0
+        self._h_n = self._h_integral(n + 0.5)
+        self._s = 2.0 - self._h_integral_inverse(self._h_integral(2.5) - self._h(2.0))
+
+    # --- rejection-inversion internals (Hormann & Derflinger 1996) -----
+    def _h(self, x: float) -> float:
+        """h(x) = x^-alpha."""
+        return math.exp(-self.alpha * math.log(x))
+
+    def _h_integral(self, x: float) -> float:
+        """H(x) = integral of h; stable near alpha == 1."""
+        log_x = math.log(x)
+        return _helper2((1.0 - self.alpha) * log_x) * log_x
+
+    def _h_integral_inverse(self, x: float) -> float:
+        t = x * (1.0 - self.alpha)
+        if t < -1.0:
+            t = -1.0  # numerical guard near the lower bound
+        return math.exp(_helper1(t) * x)
+
+    def sample(self) -> int:
+        """One draw; rank 0 is the most popular."""
+        while True:
+            u = self._h_n + self._rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_integral_inverse(u)
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > self.n:
+                k = self.n
+            if k - x <= self._s or u >= self._h_integral(k + 0.5) - self._h(k):
+                return k - 1
+
+
+def _helper1(x: float) -> float:
+    """log1p(x)/x, stable at x ~ 0."""
+    if abs(x) > 1e-8:
+        return math.log1p(x) / x
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+
+
+def _helper2(x: float) -> float:
+    """expm1(x)/x, stable at x ~ 0."""
+    if abs(x) > 1e-8:
+        return math.expm1(x) / x
+    return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+
+
+def rank_permutation_factor(n: int) -> int:
+    """A multiplier coprime with ``n`` for scattering ranks over slots."""
+    factor = 2654435761 % n
+    if factor < 2:
+        factor = max(2, n // 2 + 1) % n or 1
+    while math.gcd(factor, n) != 1:
+        factor += 1
+        if factor >= n:
+            factor = 1
+            break
+    return factor
+
+
+class ScatteredZipf:
+    """Zipf ranks mapped to scattered slot indices in ``[0, n)``."""
+
+    def __init__(self, n: int, alpha: float, rng: random.Random) -> None:
+        self._sampler = ZipfSampler(n, alpha, rng)
+        self._factor = rank_permutation_factor(n)
+        self.n = n
+
+    def sample(self) -> int:
+        rank = self._sampler.sample()
+        return (rank * self._factor) % self.n
+
+
+__all__ = ["ScatteredZipf", "ZipfSampler", "rank_permutation_factor"]

@@ -1,0 +1,65 @@
+"""Tests for the text-mode chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import hbar_chart, line_chart
+
+
+def test_hbar_renders_all_groups_and_labels():
+    chart = hbar_chart(
+        {"A": {"pipette": 1.0, "block": 0.5}, "E": {"pipette": 2.0, "block": 1.0}},
+        title="demo",
+        unit="x",
+    )
+    assert chart.startswith("demo")
+    assert "A:" in chart and "E:" in chart
+    assert chart.count("pipette") == 2
+    assert "2.00x" in chart
+
+
+def test_hbar_scales_to_peak():
+    chart = hbar_chart({"g": {"big": 10.0, "small": 1.0}}, title="t", width=20)
+    lines = chart.splitlines()
+    big_line = next(line for line in lines if "big" in line)
+    small_line = next(line for line in lines if "small" in line)
+    big_bar = big_line.split("|")[1].split()[0]
+    small_bar = small_line.split("|")[1].split()[0]
+    assert len(big_bar) == 20
+    assert len(small_bar) == 2
+
+
+def test_hbar_empty():
+    assert "(no data)" in hbar_chart({}, title="t")
+
+
+def test_hbar_zero_values_safe():
+    chart = hbar_chart({"g": {"a": 0.0}}, title="t")
+    assert "0.00" in chart
+
+
+def test_line_chart_plots_points():
+    chart = line_chart(
+        [8, 64, 512, 4096],
+        {"mmio": [1.0, 2.0, 8.0, 60.0], "dma": [20.0, 20.0, 20.0, 21.0]},
+        title="latency",
+        log_x=True,
+    )
+    assert chart.startswith("latency")
+    assert "legend:" in chart
+    assert "mmio" in chart and "dma" in chart
+    # Axis tick labels present.
+    assert "4096" in chart
+
+
+def test_line_chart_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        line_chart([1, 2], {"s": [1.0]}, title="t")
+
+
+def test_line_chart_flat_series_safe():
+    chart = line_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]}, title="t")
+    assert "5.0" in chart
+
+
+def test_line_chart_empty():
+    assert "(no data)" in line_chart([], {}, title="t")

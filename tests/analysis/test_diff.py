@@ -1,0 +1,84 @@
+"""Tests for result regression diffing."""
+
+import json
+
+import pytest
+
+from repro.analysis.diff import MetricDelta, diff_files, diff_results, render_diff
+
+
+def make_rows(throughput):
+    return [
+        {
+            "workload": "E",
+            "system": "pipette",
+            "throughput_ops": throughput,
+            "traffic_bytes": 1000,
+            "mean_latency_ns": 2000.0,
+        }
+    ]
+
+
+def test_identical_rows_have_zero_deltas():
+    deltas = diff_results(make_rows(100.0), make_rows(100.0))
+    assert len(deltas) == 3
+    assert all(delta.relative == 0.0 for delta in deltas)
+    assert all(delta.within(0.0) for delta in deltas)
+
+
+def test_regression_detected():
+    deltas = diff_results(make_rows(100.0), make_rows(80.0))
+    throughput = next(d for d in deltas if d.metric == "throughput_ops")
+    assert throughput.relative == pytest.approx(-0.2)
+    assert not throughput.within(0.02)
+    assert throughput.within(0.25)
+
+
+def test_missing_rows_ignored():
+    extra = make_rows(100.0) + [
+        {
+            "workload": "A",
+            "system": "block-io",
+            "throughput_ops": 1.0,
+            "traffic_bytes": 1,
+            "mean_latency_ns": 1.0,
+        }
+    ]
+    deltas = diff_results(extra, make_rows(100.0))
+    assert {delta.workload for delta in deltas} == {"E"}
+
+
+def test_zero_baseline_handled():
+    delta = MetricDelta("E", "s", "m", before=0.0, after=0.0)
+    assert delta.relative == 0.0
+    inf_delta = MetricDelta("E", "s", "m", before=0.0, after=5.0)
+    assert inf_delta.relative == float("inf")
+
+
+def test_render_flags_exceedances():
+    report = render_diff(diff_results(make_rows(100.0), make_rows(50.0)), tolerance=0.02)
+    assert "<<" in report
+    assert "-50.00%" in report
+    assert "1 metric(s) moved" in report
+
+
+def test_diff_files_roundtrip(tmp_path):
+    before = tmp_path / "before.json"
+    after = tmp_path / "after.json"
+    before.write_text(json.dumps(make_rows(100.0)))
+    after.write_text(json.dumps(make_rows(101.0)))
+    deltas = diff_files(before, after)
+    throughput = next(d for d in deltas if d.metric == "throughput_ops")
+    assert throughput.relative == pytest.approx(0.01)
+
+
+def test_end_to_end_with_real_exports(tmp_path, monkeypatch):
+    """Two identical tiny runs diff to all-zero deltas."""
+    from repro.experiments import cli
+
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    cli.main(["table2", "--export", str(tmp_path / "a")])
+    cli.main(["table2", "--export", str(tmp_path / "b")])
+    deltas = diff_files(tmp_path / "a" / "table2.json", tmp_path / "b" / "table2.json")
+    assert deltas
+    assert all(delta.relative == 0.0 for delta in deltas)

@@ -1,0 +1,62 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import CSV_FIELDS, save, to_csv, to_json
+from repro.analysis.metrics import WorkloadComparison
+from repro.sim.latency import LatencyStats
+from repro.system import SystemResult
+
+
+def make_comparison():
+    def result(name, elapsed):
+        return SystemResult(
+            name=name,
+            requests=100,
+            demanded_bytes=12800,
+            traffic_bytes=409600,
+            elapsed_ns=elapsed,
+            mean_latency_ns=elapsed / 100,
+            latency=LatencyStats.empty(),
+            bottleneck="nand",
+            cache_stats={"fgrc_hit_ratio": 0.5},
+        )
+
+    return WorkloadComparison(
+        workload="E",
+        results={"block-io": result("block-io", 2e9), "pipette": result("pipette", 1e9)},
+    )
+
+
+def test_csv_round_trips_through_reader():
+    text = to_csv([make_comparison()])
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[0]["workload"] == "E"
+    assert set(rows[0]) == set(CSV_FIELDS)
+    pipette = next(row for row in rows if row["system"] == "pipette")
+    assert float(pipette["normalized_throughput"]) == pytest.approx(2.0)
+
+
+def test_json_includes_cache_stats():
+    rows = json.loads(to_json([make_comparison()]))
+    assert rows[0]["cache_stats"] == {"fgrc_hit_ratio": 0.5}
+
+
+def test_json_without_cache_stats():
+    rows = json.loads(to_json([make_comparison()], with_cache_stats=False))
+    assert "cache_stats" not in rows[0]
+
+
+def test_save_by_extension(tmp_path):
+    comparison = make_comparison()
+    csv_path = save([comparison], tmp_path / "out.csv")
+    json_path = save([comparison], tmp_path / "out.json")
+    assert csv_path.read_text().startswith("workload,")
+    assert json.loads(json_path.read_text())
+    with pytest.raises(ValueError):
+        save([comparison], tmp_path / "out.xlsx")

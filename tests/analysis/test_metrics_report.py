@@ -1,0 +1,112 @@
+"""Tests for metrics containers and report rendering."""
+
+import pytest
+
+from repro.analysis.metrics import SYSTEM_ORDER, WorkloadComparison
+from repro.analysis.report import (
+    cache_table,
+    latency_table,
+    normalized_throughput_table,
+    text_table,
+    traffic_table,
+)
+from repro.sim.latency import LatencyStats
+from repro.system import SystemResult
+
+
+def make_result(name, *, elapsed_ns=1e9, requests=1000, traffic=1_000_000, cache=None):
+    return SystemResult(
+        name=name,
+        requests=requests,
+        demanded_bytes=requests * 128,
+        traffic_bytes=traffic,
+        elapsed_ns=elapsed_ns,
+        mean_latency_ns=elapsed_ns / requests,
+        latency=LatencyStats.empty(),
+        bottleneck="host",
+        cache_stats=cache or {},
+    )
+
+
+def make_comparison(workload="E"):
+    return WorkloadComparison(
+        workload=workload,
+        results={
+            "block-io": make_result("block-io", elapsed_ns=2e9),
+            "pipette": make_result(
+                "pipette",
+                elapsed_ns=1e9,
+                traffic=100_000,
+                cache={"fgrc_hit_ratio": 0.9, "fgrc_usage_bytes": 1024.0 * 1024},
+            ),
+        },
+    )
+
+
+def test_normalized_throughput_math():
+    comparison = make_comparison()
+    assert comparison.normalized_throughput("block-io") == pytest.approx(1.0)
+    assert comparison.normalized_throughput("pipette") == pytest.approx(2.0)
+
+
+def test_traffic_and_latency_helpers():
+    comparison = make_comparison()
+    assert comparison.traffic_mib("pipette") == pytest.approx(100_000 / 2**20)
+    assert comparison.mean_latency_us("block-io") == pytest.approx(2000.0)
+
+
+def test_result_derived_metrics():
+    result = make_result("x", elapsed_ns=1e9, requests=500)
+    assert result.throughput_ops == pytest.approx(500.0)
+    assert result.goodput_bytes_per_sec == pytest.approx(500 * 128)
+    assert result.read_amplification == pytest.approx(1_000_000 / (500 * 128))
+    zero = make_result("y", elapsed_ns=0.0)
+    assert zero.throughput_ops == 0.0
+
+
+def test_systems_presented_in_paper_order():
+    comparison = make_comparison()
+    assert comparison.systems() == ["block-io", "pipette"]
+    assert SYSTEM_ORDER[0] == "block-io"
+    assert SYSTEM_ORDER[-1] == "pipette"
+
+
+def test_text_table_alignment():
+    rendered = text_table(["A", "Bee"], [["1", "2"], ["333", "4"]], title="T")
+    lines = rendered.splitlines()
+    assert lines[0] == "T"
+    assert "A" in lines[1] and "Bee" in lines[1]
+    assert len(lines) == 5
+
+
+def test_throughput_table_contains_values():
+    rendered = normalized_throughput_table([make_comparison()], "title")
+    assert "2.00x" in rendered
+    assert "Pipette" in rendered
+    assert "Block I/O" in rendered
+
+
+def test_traffic_table_contains_mib():
+    rendered = traffic_table([make_comparison()], "title")
+    assert "0.1" in rendered
+
+
+def test_latency_table_renders_sizes():
+    rendered = latency_table([8, 128], {"pipette": {8: 2.0, 128: 2.5}}, "lat")
+    assert "8B" in rendered and "128B" in rendered and "2.5" in rendered
+
+
+def test_cache_table_uses_right_stats():
+    comparison = make_comparison()
+    comparison.results["block-io"].cache_stats.update(
+        {"page_cache_hit_ratio": 0.645, "page_cache_peak_bytes": 2382.0 * 2**20}
+    )
+    rendered = cache_table([comparison], "Table 4")
+    assert "64.50" in rendered
+    assert "2382.0" in rendered
+    assert "90.00" in rendered  # pipette fgrc hit ratio
+
+
+def test_empty_comparisons_handled():
+    assert "(no data)" in normalized_throughput_table([], "t")
+    assert "(no data)" in traffic_table([], "t")

@@ -1,0 +1,48 @@
+"""Tests for the report-level chart helpers."""
+
+from repro.analysis.metrics import WorkloadComparison
+from repro.analysis.report import latency_line_chart, throughput_bar_chart
+from repro.sim.latency import LatencyStats
+from repro.system import SystemResult
+
+
+def make_comparison(workload):
+    def result(name, elapsed):
+        return SystemResult(
+            name=name,
+            requests=100,
+            demanded_bytes=12_800,
+            traffic_bytes=1_000_000,
+            elapsed_ns=elapsed,
+            mean_latency_ns=elapsed / 100,
+            latency=LatencyStats.empty(),
+            bottleneck="nand",
+        )
+
+    return WorkloadComparison(
+        workload=workload,
+        results={
+            "block-io": result("block-io", 2e9),
+            "pipette": result("pipette", 1e9),
+        },
+    )
+
+
+def test_throughput_bar_chart_groups_by_workload():
+    chart = throughput_bar_chart([make_comparison("A"), make_comparison("E")], "Fig")
+    assert chart.startswith("Fig")
+    assert "A:" in chart and "E:" in chart
+    assert "Pipette" in chart and "Block I/O" in chart
+    assert "2.00x" in chart
+
+
+def test_latency_line_chart_has_legend_and_axis():
+    chart = latency_line_chart(
+        [8, 128, 4096],
+        {"block-io": {8: 90.0, 128: 90.0, 4096: 91.0},
+         "pipette": {8: 2.0, 128: 2.0, 4096: 91.0}},
+        "Fig 8",
+    )
+    assert "legend:" in chart
+    assert "read size (bytes, log scale)" in chart
+    assert "4096" in chart

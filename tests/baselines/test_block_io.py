@@ -1,0 +1,75 @@
+"""Tests for the Block I/O baseline."""
+
+from repro.kernel.vfs import O_RDWR
+from repro.system import build_system
+
+from tests.conftest import make_open_file, small_sim_config
+
+
+def make():
+    return build_system("block-io", small_sim_config())
+
+
+def test_fine_read_amplifies_to_full_page():
+    system = make()
+    fd = make_open_file(system)
+    system.read(fd, 100, 28)
+    assert system.device.traffic.device_to_host_bytes == 4096
+    result = system.result()
+    assert result.read_amplification == 4096 / 28
+
+
+def test_repeat_read_served_from_page_cache():
+    system = make()
+    fd = make_open_file(system)
+    system.read(fd, 100, 28)
+    system.read(fd, 100, 28)
+    assert system.device.traffic.device_to_host_bytes == 4096
+    assert system.page_cache.counter.hits >= 1
+
+
+def test_sequential_reads_prefetch():
+    system = make()
+    fd = make_open_file(system)
+    system.read(fd, 0, 4096)
+    system.read(fd, 4096, 4096)
+    # Read-ahead transferred more than demanded.
+    assert system.device.traffic.device_to_host_bytes > 2 * 4096
+    # ...and the prefetched page is already resident.
+    before = system.device.traffic.device_to_host_bytes
+    system.read(fd, 8192, 4096)
+    assert system.device.traffic.device_to_host_bytes == before
+
+
+def test_write_read_roundtrip():
+    system = make()
+    fd = make_open_file(system, flags=O_RDWR)
+    system.write(fd, 12345, b"abcdef")
+    assert system.read(fd, 12345, 6) == b"abcdef"
+
+
+def test_rmw_traffic_attributed_to_write_path():
+    system = make()
+    fd = make_open_file(system, flags=O_RDWR)
+    system.write(fd, 100, b"partial")  # read-modify-write fetches a page
+    assert system.device.traffic.device_to_host_bytes == 0
+    assert system.device.traffic.write_induced_bytes == 4096
+
+
+def test_ignores_fine_grained_flag():
+    system = make()
+    fd = make_open_file(system)  # opened with O_FINE_GRAINED
+    system.read(fd, 0, 64)
+    assert system.device.traffic.device_to_host_bytes == 4096
+
+
+def test_result_snapshot_fields():
+    system = make()
+    fd = make_open_file(system)
+    system.read(fd, 0, 64)
+    result = system.result()
+    assert result.name == "block-io"
+    assert result.requests == 1
+    assert result.demanded_bytes == 64
+    assert result.elapsed_ns > 0
+    assert result.bottleneck in ("host", "pcie", "nand")

@@ -1,0 +1,102 @@
+"""Tests for the 2B-SSD baselines (MMIO and DMA modes)."""
+
+import pytest
+
+from repro.system import build_system
+
+from tests.conftest import make_open_file, small_sim_config
+
+
+@pytest.fixture
+def mmio():
+    return build_system("2b-ssd-mmio", small_sim_config())
+
+
+@pytest.fixture
+def dma():
+    return build_system("2b-ssd-dma", small_sim_config())
+
+
+def test_traffic_is_exactly_demanded_bytes(mmio, dma):
+    for system in (mmio, dma):
+        fd = make_open_file(system)
+        system.read(fd, 100, 28)
+        system.read(fd, 5000, 300)
+        assert system.device.traffic.device_to_host_bytes == 328
+
+
+def test_no_caching_every_read_hits_flash(dma):
+    fd = make_open_file(dma)
+    dma.read(fd, 100, 28)
+    sensed = dma.device.controller.pages_sensed
+    dma.read(fd, 100, 28)
+    assert dma.device.controller.pages_sensed == 2 * sensed
+
+
+def test_mmio_latency_grows_with_size(mmio):
+    fd = make_open_file(mmio)
+    mmio.read(fd, 0, 8)
+    mmio.read(fd, 100_000, 4095)
+    assert mmio.latency.mean_ns(4095) > mmio.latency.mean_ns(8) + 50_000
+
+
+def test_dma_latency_flat_with_size(dma):
+    fd = make_open_file(dma)
+    dma.read(fd, 0, 8)
+    dma.read(fd, 100_000, 2048)
+    small = dma.latency.mean_ns(8)
+    large = dma.latency.mean_ns(2048)
+    assert abs(large - small) < 2_000  # only the link transfer differs
+
+
+def test_dma_pays_per_access_mapping(dma):
+    fd = make_open_file(dma)
+    dma.read(fd, 0, 8)
+    dma.read(fd, 64, 8)
+    assert dma.device.dma.mappings_created == 2
+
+
+def test_mmio_pays_page_fault_per_access(mmio):
+    fd = make_open_file(mmio)
+    mmio.read(fd, 0, 8)
+    mmio.read(fd, 64, 8)
+    assert mmio.device.mmio.faults_taken == 2
+
+
+def test_dma_slower_than_mmio_for_tiny_reads(mmio, dma):
+    fd_m = make_open_file(mmio)
+    fd_d = make_open_file(dma)
+    mmio.read(fd_m, 0, 8)
+    dma.read(fd_d, 0, 8)
+    assert dma.latency.mean_ns(8) > mmio.latency.mean_ns(8)
+
+
+def test_mmio_slower_than_dma_for_big_reads(mmio, dma):
+    fd_m = make_open_file(mmio)
+    fd_d = make_open_file(dma)
+    mmio.read(fd_m, 0, 2048)
+    dma.read(fd_d, 0, 2048)
+    assert mmio.latency.mean_ns(2048) > dma.latency.mean_ns(2048)
+
+
+def test_data_correctness_both_modes(mmio, dma):
+    reference = build_system("block-io", small_sim_config())
+    ref_fd = make_open_file(reference)
+    for system in (mmio, dma):
+        fd = make_open_file(system)
+        for offset, size in [(0, 8), (1000, 128), (4090, 20)]:
+            assert system.read(fd, offset, size) == reference.read(ref_fd, offset, size)
+
+
+def test_write_visible_to_subsequent_reads(dma):
+    fd = make_open_file(dma)
+    dma.write(fd, 500, b"updated")
+    assert dma.read(fd, 500, 7) == b"updated"
+
+
+def test_pages_staged_in_cmb(mmio):
+    fd = make_open_file(mmio)
+    mmio.read(fd, 0, 8)
+    assert mmio.pages_staged == 1
+    mmio.read(fd, 4090, 20)  # crosses a page boundary
+    assert mmio.pages_staged == 3

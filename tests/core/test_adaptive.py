@@ -1,0 +1,87 @@
+"""Tests for the adaptive caching threshold (paper section 3.2.2)."""
+
+import pytest
+
+from repro.core.read_cache.adaptive import AdaptiveThreshold
+
+
+def make(**kwargs):
+    defaults = dict(initial=0, minimum=0, maximum=8, ratio_min=0.1, ratio_max=0.5, period=10)
+    defaults.update(kwargs)
+    return AdaptiveThreshold(**defaults)
+
+
+def test_low_reuse_raises_threshold():
+    controller = make()
+    for _ in range(10):
+        controller.on_access(repeated=False)
+    assert controller.threshold == 1
+
+
+def test_high_reuse_lowers_threshold():
+    controller = make(initial=4)
+    for _ in range(10):
+        controller.on_access(repeated=True)
+    assert controller.threshold == 3
+
+
+def test_mid_reuse_keeps_threshold():
+    controller = make(initial=2)
+    for index in range(10):
+        controller.on_access(repeated=index % 3 == 0)  # ratio 0.3
+    assert controller.threshold == 2
+
+
+def test_threshold_clamped_to_bounds():
+    controller = make(initial=0, maximum=1)
+    for _ in range(40):
+        controller.on_access(repeated=False)
+    assert controller.threshold == 1
+    low = make(initial=0)
+    for _ in range(20):
+        low.on_access(repeated=True)
+    assert low.threshold == 0
+
+
+def test_window_resets_each_period():
+    controller = make()
+    for _ in range(10):
+        controller.on_access(repeated=False)
+    assert controller.window_accesses == 0
+    assert controller.access_count == 10
+
+
+def test_should_admit_compares_prior_accesses():
+    controller = make(initial=2)
+    assert not controller.should_admit(0)
+    assert not controller.should_admit(1)
+    assert controller.should_admit(2)
+    assert controller.should_admit(5)
+
+
+def test_threshold_zero_admits_first_touch():
+    assert make(initial=0).should_admit(0)
+
+
+def test_disabled_never_adapts():
+    controller = make(enabled=False)
+    for _ in range(50):
+        controller.on_access(repeated=False)
+    assert controller.threshold == 0
+
+
+def test_lifetime_reuse_ratio():
+    controller = make()
+    controller.on_access(repeated=False)
+    controller.on_access(repeated=True)
+    assert controller.reuse_ratio == pytest.approx(0.5)
+    assert AdaptiveThreshold(initial=0).reuse_ratio == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make(initial=9)
+    with pytest.raises(ValueError):
+        make(ratio_min=0.9, ratio_max=0.5)
+    with pytest.raises(ValueError):
+        make(period=0)

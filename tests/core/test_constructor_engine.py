@@ -1,0 +1,106 @@
+"""Tests for the constructor/requester and device-side Read Engine."""
+
+import pytest
+
+from repro.config import MIB, CacheConfig, SimConfig, SSDSpec
+from repro.core.constructor import FineGrainedConstructor, Requester
+from repro.core.engine import EngineResult, FineGrainedReadEngine
+from repro.core.read_cache.info_area import InfoArea
+from repro.kernel.fs.ext4 import ExtentFileSystem
+from repro.ssd.device import SSDDevice
+from repro.ssd.nand import page_pattern
+from repro.ssd.nvme import NvmeOpcode
+
+
+@pytest.fixture
+def rig():
+    spec = SSDSpec(capacity_bytes=64 * MIB, mapping_region_bytes=2 * MIB)
+    config = SimConfig(
+        ssd=spec, cache=CacheConfig(shared_memory_bytes=MIB, fgrc_bytes=512 * 1024)
+    )
+    device = SSDDevice(config)
+    fs = ExtentFileSystem(total_pages=spec.total_pages, page_size=spec.page_size)
+    info = InfoArea(capacity=64)
+    constructor = FineGrainedConstructor(fs=fs, info_area=info)
+    engine = FineGrainedReadEngine(
+        config=config,
+        controller=device.controller,
+        link=device.link,
+        hmb=device.hmb,
+        info_area=info,
+    )
+    device.install_fine_read_engine(engine)
+    requester = Requester(device=device)
+    inode = fs.create("/f", MIB)
+    return config, device, fs, info, constructor, requester, engine, inode
+
+
+def test_construct_produces_info_records(rig):
+    _, _, _, info, constructor, _, _, inode = rig
+    read = constructor.construct(inode, 100, 28, dest_addr=500)
+    assert read.command.opcode == NvmeOpcode.FINE_GRAINED_READ
+    assert len(read.command.ranges) == 1
+    assert info.produced == 1
+    assert read.command.ranges[0].dest_addr == 500
+
+
+def test_engine_transfers_demanded_bytes_to_hmb(rig):
+    _, device, fs, info, constructor, requester, engine, inode = rig
+    read = constructor.construct(inode, 100, 28, dest_addr=500)
+    completion = requester.submit(read)
+    assert completion.success
+    result = completion.result
+    assert isinstance(result, EngineResult)
+    assert result.bytes_moved == 28
+    lba = fs.page_lba(inode, 0)
+    expected = page_pattern(lba)[100:128]
+    assert device.hmb.read(500, 28) == expected
+    assert info.consumed == 1
+    assert engine.ranges_served == 1
+
+
+def test_engine_handles_page_crossing_range(rig):
+    _, device, fs, _, constructor, requester, _, inode = rig
+    read = constructor.construct(inode, 4090, 16, dest_addr=100)
+    completion = requester.submit(read)
+    result = completion.result
+    assert result.bytes_moved == 16
+    lba0 = fs.page_lba(inode, 0)
+    lba1 = fs.page_lba(inode, 1)
+    expected = page_pattern(lba0)[4090:] + page_pattern(lba1)[:10]
+    assert device.hmb.read(100, 16) == expected
+
+
+def test_engine_traffic_is_demanded_bytes_only(rig):
+    _, device, _, _, constructor, requester, _, inode = rig
+    read = constructor.construct(inode, 0, 64, dest_addr=0)
+    requester.submit(read)
+    assert device.traffic.device_to_host_bytes == 64
+
+
+def test_engine_rejects_mismatched_info_record(rig):
+    _, device, _, info, constructor, requester, _, inode = rig
+    read = constructor.construct(inode, 0, 64, dest_addr=0)
+    # Corrupt the ring: consume the record the host staged and replace
+    # it with one pointing elsewhere.
+    record = info.consume()
+    from repro.core.read_cache.info_area import InfoRecord
+
+    info.push(InfoRecord(dest_addr=record.dest_addr + 8, byte_offset=0, byte_length=64))
+    completion = device.submit(read.command)
+    assert not completion.success
+
+
+def test_engine_qd1_nand_overlap():
+    result = EngineResult(nand_ns_each=[60.0] * 8, transfer_ns=0.0, bytes_moved=0)
+    assert result.qd1_nand_ns(channels=8) == 60.0
+    wider = EngineResult(nand_ns_each=[60.0] * 9, transfer_ns=0.0, bytes_moved=0)
+    assert wider.qd1_nand_ns(channels=8) == 120.0
+    assert EngineResult([], 0.0, 0).qd1_nand_ns(8) == 0.0
+
+
+def test_requester_counts_submissions(rig):
+    _, _, _, _, constructor, requester, _, inode = rig
+    requester.submit(constructor.construct(inode, 0, 8, dest_addr=0))
+    requester.submit(constructor.construct(inode, 64, 8, dest_addr=8))
+    assert requester.submitted == 2

@@ -1,0 +1,61 @@
+"""Tests for the access detector and read dispatcher."""
+
+from repro.config import SimConfig
+from repro.core.detector import FineGrainedAccessDetector
+from repro.core.dispatcher import DispatchDecision, ReadDispatcher
+from repro.kernel.fs.ext4 import ExtentFileSystem
+from repro.kernel.vfs import O_FINE_GRAINED, O_RDONLY, FileTable
+
+
+def make_entry(flags):
+    fs = ExtentFileSystem(total_pages=1024, page_size=4096)
+    inode = fs.create("/f", 65536)
+    return FileTable(SimConfig()).install(inode, flags)
+
+
+def test_detector_permits_flagged_files():
+    detector = FineGrainedAccessDetector()
+    assert detector.permitted(make_entry(O_FINE_GRAINED))
+    assert detector.denied == 0
+
+
+def test_detector_denies_unflagged_files():
+    detector = FineGrainedAccessDetector()
+    assert not detector.permitted(make_entry(O_RDONLY))
+    assert detector.denied == 1
+
+
+def test_detector_profiles_access_ranges():
+    detector = FineGrainedAccessDetector(page_size=4096)
+    detector.record(ino=5, offset=100, size=28)
+    detector.record(ino=5, offset=4090, size=20)  # crosses a page boundary
+    profile = detector.profiles[5]
+    assert profile.accesses == 2
+    assert profile.bytes_demanded == 48
+    assert profile.min_size == 20
+    assert profile.max_size == 28
+    assert profile.pages_touched == {0, 1}
+    assert profile.mean_size == 24.0
+
+
+def test_dispatcher_routes_by_size():
+    dispatcher = ReadDispatcher(threshold_bytes=4096)
+    fine_entry = make_entry(O_FINE_GRAINED)
+    assert dispatcher.decide(fine_entry, 128) is DispatchDecision.FINE
+    assert dispatcher.decide(fine_entry, 4095) is DispatchDecision.FINE
+    assert dispatcher.decide(fine_entry, 4096) is DispatchDecision.BLOCK
+    assert dispatcher.decide(fine_entry, 65536) is DispatchDecision.BLOCK
+
+
+def test_dispatcher_requires_flag():
+    dispatcher = ReadDispatcher(threshold_bytes=4096)
+    assert dispatcher.decide(make_entry(O_RDONLY), 128) is DispatchDecision.BLOCK
+
+
+def test_dispatcher_counts_decisions():
+    dispatcher = ReadDispatcher(threshold_bytes=4096)
+    entry = make_entry(O_FINE_GRAINED)
+    dispatcher.decide(entry, 100)
+    dispatcher.decide(entry, 5000)
+    assert dispatcher.fine_dispatches == 1
+    assert dispatcher.block_dispatches == 1

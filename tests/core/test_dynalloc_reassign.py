@@ -1,0 +1,154 @@
+"""Tests for the dynamic allocation and slab reassignment policies."""
+
+from repro.core.read_cache.dynalloc import AllocationAction, DynamicAllocator
+from repro.core.read_cache.reassign import SlabReassigner
+from repro.core.read_cache.slab import CacheItem, SlabAllocator
+
+
+def decide(allocator_kwargs=None, **kwargs):
+    allocator = DynamicAllocator(**(allocator_kwargs or {}))
+    defaults = dict(
+        fgrc_hit_ratio=0.5,
+        page_cache_hit_ratio=0.5,
+        fgrc_usage_bytes=0,
+        can_migrate=True,
+        can_evict=True,
+    )
+    defaults.update(kwargs)
+    return allocator, allocator.decide(**defaults)
+
+
+def test_page_cache_winning_evicts():
+    _, action = decide(fgrc_hit_ratio=0.2, page_cache_hit_ratio=0.8)
+    assert action is AllocationAction.EVICT_ITEM
+
+
+def test_fgrc_winning_migrates():
+    _, action = decide(fgrc_hit_ratio=0.8, page_cache_hit_ratio=0.2)
+    assert action is AllocationAction.MIGRATE_SLAB
+
+
+def test_tie_prefers_migration():
+    # Paper 3.2.4: hit ratio greater than *or equal* -> migrate.
+    _, action = decide(fgrc_hit_ratio=0.5, page_cache_hit_ratio=0.5)
+    assert action is AllocationAction.MIGRATE_SLAB
+
+
+def test_growth_cap_forces_eviction():
+    _, action = decide(
+        allocator_kwargs=dict(fgrc_max_fraction=0.5, shared_budget_bytes=100),
+        fgrc_hit_ratio=0.9,
+        page_cache_hit_ratio=0.1,
+        fgrc_usage_bytes=60,
+    )
+    assert action is AllocationAction.EVICT_ITEM
+
+
+def test_nothing_to_evict_falls_back_to_migration():
+    _, action = decide(fgrc_hit_ratio=0.1, page_cache_hit_ratio=0.9, can_evict=False)
+    assert action is AllocationAction.MIGRATE_SLAB
+
+
+def test_deny_when_no_option():
+    _, action = decide(can_evict=False, can_migrate=False)
+    assert action is AllocationAction.DENY
+
+
+def test_disabled_dynalloc_never_migrates():
+    allocator, action = decide(allocator_kwargs=dict(enabled=False), fgrc_hit_ratio=0.9)
+    assert action is AllocationAction.EVICT_ITEM
+    assert allocator.decisions_migrate == 0
+
+
+def test_decision_counters():
+    allocator = DynamicAllocator()
+    allocator.decide(
+        fgrc_hit_ratio=0.9,
+        page_cache_hit_ratio=0.1,
+        fgrc_usage_bytes=0,
+        can_migrate=True,
+        can_evict=True,
+    )
+    allocator.decide(
+        fgrc_hit_ratio=0.1,
+        page_cache_hit_ratio=0.9,
+        fgrc_usage_bytes=0,
+        can_migrate=True,
+        can_evict=True,
+    )
+    assert allocator.decisions_migrate == 1
+    assert allocator.decisions_evict == 1
+
+
+# --- reassignment --------------------------------------------------------
+
+
+def exhausted_allocator():
+    """Two classes: class 64 holds two slabs, class 1024 starves."""
+    allocator = SlabAllocator(
+        base_addr=0, size_bytes=2 * 4096, slab_bytes=4096,
+        min_item=64, max_item=1024, growth_factor=2.0,
+    )
+    small = allocator.class_for(64)
+    for _ in range(2 * (4096 // 64)):
+        assert allocator.allocate(small) is not None
+    assert not allocator.free_slabs
+    return allocator
+
+
+def test_idle_class_donates_slab():
+    allocator = exhausted_allocator()
+    big = allocator.class_for(1024)
+    reassigner = SlabReassigner(idle_stages=3)
+    reassigner.scan(allocator)  # baseline counts
+    big.eviction_count += 1  # the big class is starving (evicting)
+    assert reassigner.scan(allocator) == []  # idle for 2 scans < 3
+    big.eviction_count += 1
+    victims = reassigner.scan(allocator)  # idle for 3 scans -> donate
+    assert len(victims) == 1
+    victim_class, slab = victims[0]
+    assert victim_class.item_capacity == 64
+    assert slab in victim_class.slabs
+    assert reassigner.reassignments == 1
+
+
+def test_no_starvation_no_reassignment():
+    allocator = exhausted_allocator()
+    reassigner = SlabReassigner(idle_stages=1)
+    reassigner.scan(allocator)
+    assert reassigner.scan(allocator) == []
+
+
+def test_free_slabs_suppress_reassignment():
+    allocator = SlabAllocator(
+        base_addr=0, size_bytes=4 * 4096, slab_bytes=4096,
+        min_item=64, max_item=1024, growth_factor=2.0,
+    )
+    small = allocator.class_for(64)
+    allocator.allocate(small)
+    big = allocator.class_for(1024)
+    reassigner = SlabReassigner(idle_stages=1)
+    reassigner.scan(allocator)
+    big.eviction_count += 1
+    assert reassigner.scan(allocator) == []  # free slabs exist
+
+
+def test_single_slab_class_never_donates():
+    allocator = SlabAllocator(
+        base_addr=0, size_bytes=4096, slab_bytes=4096,
+        min_item=64, max_item=1024, growth_factor=2.0,
+    )
+    small = allocator.class_for(64)
+    allocator.allocate(small)
+    reassigner = SlabReassigner(idle_stages=1)
+    reassigner.scan(allocator)
+    big = allocator.class_for(1024)
+    big.eviction_count += 1
+    assert reassigner.scan(allocator) == []
+
+
+def test_disabled_reassigner():
+    allocator = exhausted_allocator()
+    reassigner = SlabReassigner(enabled=False)
+    assert reassigner.scan(allocator) == []
+    assert reassigner.scans == 0

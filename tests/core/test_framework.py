@@ -1,0 +1,131 @@
+"""End-to-end tests of the full Pipette framework."""
+
+import pytest
+
+from repro.kernel.vfs import O_FINE_GRAINED, O_RDONLY, O_RDWR
+from repro.system import build_system
+
+from tests.conftest import make_open_file, small_sim_config
+
+
+@pytest.fixture
+def system():
+    return build_system("pipette", small_sim_config())
+
+
+def test_fine_read_miss_then_hit_latency(system):
+    fd = make_open_file(system)
+    system.read(fd, 1000, 128)
+    miss_latency = system.latency.mean_ns(128)
+    system.read(fd, 1000, 128)
+    # The second read is a cache hit, far cheaper than the miss.
+    assert system.cache.counter.hits == 1
+    hit_latency = 2 * system.latency.mean_ns(128) - miss_latency
+    assert hit_latency < miss_latency / 10
+    assert hit_latency < 5_000  # ~2 us, the paper's anchor
+
+
+def test_fine_read_returns_correct_bytes(system):
+    fd = make_open_file(system)
+    reference = build_system("block-io", small_sim_config())
+    ref_fd = make_open_file(reference)
+    for offset, size in [(0, 8), (1000, 128), (4090, 20), (65536, 512)]:
+        assert system.read(fd, offset, size) == reference.read(ref_fd, offset, size)
+
+
+def test_hit_returns_same_bytes_as_miss(system):
+    fd = make_open_file(system)
+    first = system.read(fd, 777, 99)
+    second = system.read(fd, 777, 99)
+    assert first == second
+
+
+def test_large_reads_take_block_path(system):
+    fd = make_open_file(system)
+    system.read(fd, 0, 4096)
+    assert system.dispatcher.block_dispatches == 1
+    assert system.dispatcher.fine_dispatches == 0
+    assert system.cache.counter.accesses == 0
+
+
+def test_unflagged_file_never_uses_fine_path(system):
+    fd = make_open_file(system, path="/plain.bin", flags=O_RDONLY)
+    system.read(fd, 100, 64)
+    assert system.dispatcher.fine_dispatches == 0
+
+
+def test_traffic_counts_demanded_bytes_on_fine_path(system):
+    fd = make_open_file(system)
+    system.read(fd, 0, 128)
+    assert system.device.traffic.device_to_host_bytes == 128
+
+
+def test_write_invalidates_cached_range(system):
+    fd = make_open_file(system)
+    system.read(fd, 1000, 128)
+    system.read(fd, 1000, 128)
+    assert system.cache.counter.hits == 1
+    system.write(fd, 1050, b"FRESH")
+    data = system.read(fd, 1000, 128)
+    assert data[50:55] == b"FRESH"
+
+
+def test_write_then_fine_read_served_from_page_cache(system):
+    fd = make_open_file(system)
+    system.write(fd, 2000, b"hello world")
+    before = system.fine_page_cache_hits
+    data = system.read(fd, 2000, 11)
+    assert data == b"hello world"
+    assert system.fine_page_cache_hits == before + 1
+
+
+def test_consistency_after_eviction_to_flash(system):
+    fd = make_open_file(system)
+    system.write(fd, 3000, b"durable!")
+    system.fsync(fd)
+    system.page_cache.invalidate_file(system.fs.lookup("/data/file.bin").ino)
+    data = system.read(fd, 3000, 8)
+    assert data == b"durable!"
+
+
+def test_low_reuse_data_stages_through_tempbuf():
+    import dataclasses
+
+    config = small_sim_config()
+    config = config.scaled(cache=dataclasses.replace(config.cache, initial_threshold=1))
+    system = build_system("pipette", config)
+    fd = make_open_file(system)
+    system.read(fd, 0, 64)  # first touch: below threshold -> TempBuf
+    assert system.cache.tempbuf_passes == 1
+    assert system.cache.admissions == 0
+    system.read(fd, 0, 64)  # second touch admits
+    assert system.cache.admissions == 1
+
+
+def test_per_file_lookup_table_created_on_open(system):
+    make_open_file(system)
+    ino = system.fs.lookup("/data/file.bin").ino
+    assert ino in system.cache.tables
+
+
+def test_cache_stats_exposed(system):
+    fd = make_open_file(system)
+    system.read(fd, 0, 128)
+    stats = system.cache_stats()
+    for key in ("fgrc_hit_ratio", "fgrc_usage_bytes", "page_cache_hit_ratio"):
+        assert key in stats
+
+
+def test_engine_installed_for_vendor_opcode(system):
+    fd = make_open_file(system)
+    system.read(fd, 0, 128)
+    assert system.engine.commands_handled == 1
+
+
+def test_transfer_data_false_mode():
+    system = build_system("pipette", small_sim_config(transfer_data=False))
+    fd = make_open_file(system)
+    assert system.read(fd, 0, 128) is None
+    assert system.read(fd, 0, 128) is None  # hit path
+    assert system.cache.counter.hits == 1
+    assert system.device.traffic.device_to_host_bytes == 128

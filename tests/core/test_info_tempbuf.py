@@ -1,0 +1,85 @@
+"""Tests for the Info Area ring and the TempBuf allocator."""
+
+import pytest
+
+from repro.core.read_cache.info_area import InfoArea, InfoRecord
+from repro.core.read_cache.tempbuf import TempBufArea
+
+
+def record(dest=0, offset=0, length=8):
+    return InfoRecord(dest_addr=dest, byte_offset=offset, byte_length=length)
+
+
+def test_push_consume_fifo():
+    area = InfoArea(capacity=4)
+    area.push(record(dest=1))
+    area.push(record(dest=2))
+    assert area.consume().dest_addr == 1
+    assert area.consume().dest_addr == 2
+
+
+def test_head_tail_advance():
+    area = InfoArea(capacity=4)
+    area.push(record())
+    assert (area.head, area.tail) == (0, 1)
+    area.consume()
+    assert (area.head, area.tail) == (1, 1)
+    assert area.in_flight == 0
+
+
+def test_ring_wraps():
+    area = InfoArea(capacity=4)
+    for index in range(10):
+        area.push(record(dest=index))
+        assert area.consume().dest_addr == index
+    assert area.produced == 10 and area.consumed == 10
+
+
+def test_full_ring_blocks_host():
+    area = InfoArea(capacity=4)
+    for index in range(3):
+        area.push(record(dest=index))
+    assert area.full
+    with pytest.raises(BufferError):
+        area.push(record())
+
+
+def test_empty_ring_blocks_device():
+    with pytest.raises(BufferError):
+        InfoArea(capacity=4).consume()
+
+
+def test_invalid_record_rejected():
+    with pytest.raises(ValueError):
+        InfoRecord(dest_addr=-1, byte_offset=0, byte_length=1)
+    with pytest.raises(ValueError):
+        InfoRecord(dest_addr=0, byte_offset=0, byte_length=0)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        InfoArea(capacity=1)
+
+
+def test_tempbuf_bump_allocates_sequentially():
+    buf = TempBufArea(base_addr=1000, size=100)
+    assert buf.alloc(40) == 1000
+    assert buf.alloc(40) == 1040
+    assert buf.allocations == 2
+
+
+def test_tempbuf_wraps():
+    buf = TempBufArea(base_addr=0, size=100)
+    buf.alloc(60)
+    assert buf.alloc(60) == 0  # wraps to the start
+    assert buf.wraps == 1
+
+
+def test_tempbuf_rejects_oversized_and_invalid():
+    buf = TempBufArea(base_addr=0, size=100)
+    with pytest.raises(ValueError):
+        buf.alloc(101)
+    with pytest.raises(ValueError):
+        buf.alloc(0)
+    with pytest.raises(ValueError):
+        TempBufArea(base_addr=0, size=0)

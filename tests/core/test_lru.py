@@ -1,0 +1,108 @@
+"""Tests for the intrusive LRU list."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.read_cache.lru import LruList
+
+
+class Node:
+    def __init__(self, name):
+        self.name = name
+        self.lru_prev = None
+        self.lru_next = None
+
+    def __repr__(self):
+        return f"Node({self.name})"
+
+
+def names(lst):
+    return [node.name for node in lst]
+
+
+def test_push_front_orders_mru_first():
+    lst = LruList()
+    a, b = Node("a"), Node("b")
+    lst.push_front(a)
+    lst.push_front(b)
+    assert names(lst) == ["b", "a"]
+    assert lst.head is b and lst.tail is a
+
+
+def test_pop_tail_removes_lru():
+    lst = LruList()
+    a, b = Node("a"), Node("b")
+    lst.push_front(a)
+    lst.push_front(b)
+    assert lst.pop_tail() is a
+    assert len(lst) == 1
+
+
+def test_pop_tail_empty_returns_none():
+    assert LruList().pop_tail() is None
+
+
+def test_touch_moves_to_front():
+    lst = LruList()
+    a, b, c = Node("a"), Node("b"), Node("c")
+    for node in (a, b, c):
+        lst.push_front(node)
+    lst.touch(a)
+    assert names(lst) == ["a", "c", "b"]
+
+
+def test_touch_head_is_noop():
+    lst = LruList()
+    a = Node("a")
+    lst.push_front(a)
+    lst.touch(a)
+    assert names(lst) == ["a"]
+
+
+def test_remove_middle():
+    lst = LruList()
+    a, b, c = Node("a"), Node("b"), Node("c")
+    for node in (a, b, c):
+        lst.push_front(node)
+    lst.remove(b)
+    assert names(lst) == ["c", "a"]
+    assert b.lru_prev is None and b.lru_next is None
+
+
+def test_double_push_rejected():
+    lst = LruList()
+    a = Node("a")
+    lst.push_front(a)
+    with pytest.raises(ValueError):
+        lst.push_front(a)
+
+
+def test_remove_unlinked_rejected():
+    lst = LruList()
+    with pytest.raises(ValueError):
+        lst.remove(Node("x"))
+
+
+@given(st.lists(st.sampled_from(["push", "pop", "touch"]), max_size=120))
+def test_property_matches_reference_deque(ops):
+    """The intrusive list behaves like a reference list model."""
+    lst = LruList()
+    model: list[Node] = []  # index 0 = MRU
+    counter = 0
+    for op in ops:
+        if op == "push":
+            node = Node(counter)
+            counter += 1
+            lst.push_front(node)
+            model.insert(0, node)
+        elif op == "pop":
+            popped = lst.pop_tail()
+            expected = model.pop() if model else None
+            assert popped is expected
+        elif op == "touch" and model:
+            victim = model[len(model) // 2]
+            lst.touch(victim)
+            model.remove(victim)
+            model.insert(0, victim)
+        assert names(lst) == [node.name for node in model]

@@ -1,0 +1,44 @@
+"""Tests for per-slab-class occupancy reporting."""
+
+from repro.system import build_system
+
+from tests.conftest import make_open_file, small_sim_config
+
+
+def test_occupancy_reflects_admissions():
+    system = build_system("pipette", small_sim_config())
+    fd = make_open_file(system)
+    # Two size classes: 128 B reads (-> 128-capacity class) and 600 B
+    # reads (-> 1024-capacity class with growth factor 2 from 64).
+    for index in range(10):
+        system.read(fd, index * 4096, 128)
+    for index in range(5):
+        system.read(fd, 100_000 + index * 4096, 600)
+    occupancy = {
+        int(row["item_capacity"]): row for row in system.cache.class_occupancy()
+    }
+    assert occupancy[128]["resident_items"] == 10
+    assert occupancy[1024]["resident_items"] == 5
+    assert occupancy[128]["slabs"] >= 1
+    # Untouched classes hold nothing.
+    assert occupancy[64]["resident_items"] == 0
+    assert occupancy[64]["slabs"] == 0
+
+
+def test_occupancy_capacity_bounds_residency():
+    system = build_system("pipette", small_sim_config())
+    fd = make_open_file(system)
+    for index in range(50):
+        system.read(fd, index * 256, 200)
+    for row in system.cache.class_occupancy():
+        assert row["resident_items"] <= row["capacity_items"]
+
+
+def test_occupancy_exposed_via_cache_stats():
+    system = build_system("pipette", small_sim_config())
+    fd = make_open_file(system)
+    system.read(fd, 0, 128)
+    stats = system.cache_stats()
+    assert "_occupancy" in stats
+    rows = stats["_occupancy"]
+    assert any(row["resident_items"] for row in rows)

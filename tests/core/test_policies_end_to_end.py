@@ -1,0 +1,102 @@
+"""End-to-end behaviour of the three adaptive policies through the API."""
+
+import dataclasses
+
+from repro.system import build_system
+
+from tests.conftest import make_open_file, small_sim_config
+
+
+def configured(cache_overrides=None, pipette_overrides=None):
+    config = small_sim_config()
+    if cache_overrides:
+        config = config.scaled(cache=dataclasses.replace(config.cache, **cache_overrides))
+    if pipette_overrides:
+        config = config.scaled(
+            pipette=dataclasses.replace(config.pipette, **pipette_overrides)
+        )
+    return build_system("pipette", config)
+
+
+def test_threshold_rises_under_zero_reuse():
+    system = configured(cache_overrides=dict(adapt_period=256, reuse_ratio_min=0.05))
+    fd = make_open_file(system)
+    # One-touch-only stream: no range is ever repeated.
+    for index in range(2000):
+        system.read(fd, (index * 256) % (1024 * 1024 - 256), 64)
+    assert system.cache.adaptive.threshold >= 1
+    assert system.cache.tempbuf_passes > 0  # cold data detoured
+
+
+def test_threshold_stays_low_under_heavy_reuse():
+    system = configured(cache_overrides=dict(adapt_period=256))
+    fd = make_open_file(system)
+    for index in range(2000):
+        system.read(fd, (index % 16) * 128, 64)  # 16 hot ranges
+    assert system.cache.adaptive.threshold == 0
+    assert system.cache.hit_ratio > 0.9
+
+
+def test_ghost_entries_grow_only_on_denied_admissions():
+    system = configured(cache_overrides=dict(initial_threshold=2, adapt_period=1 << 30))
+    fd = make_open_file(system)
+    for index in range(100):
+        system.read(fd, index * 128, 64)  # all first touches, denied
+    table = system.cache.tables[system.fs.lookup("/data/file.bin").ino]
+    assert table.ghosts == 100
+    assert system.cache.admissions == 0
+    # Third touch of one range crosses the threshold.
+    system.read(fd, 0, 64)
+    system.read(fd, 0, 64)
+    assert system.cache.admissions == 1
+    assert table.ghost_count(0, 64) == 0  # promoted out of the ghosts
+
+
+def test_dynalloc_counters_move_under_pressure():
+    system = configured(
+        cache_overrides=dict(
+            fgrc_bytes=128 * 1024, slab_bytes=64 * 1024, dynalloc_enabled=True
+        )
+    )
+    fd = make_open_file(system)
+    for index in range(6000):
+        system.read(fd, (index * 128) % (1024 * 1024 - 128), 100)
+    dynalloc = system.cache.dynalloc
+    assert dynalloc.decisions_evict + dynalloc.decisions_migrate > 0
+
+
+def test_migration_respects_growth_cap():
+    system = configured(
+        cache_overrides=dict(
+            fgrc_bytes=128 * 1024,
+            slab_bytes=64 * 1024,
+            dynalloc_enabled=True,
+            fgrc_max_fraction=0.25,
+        )
+    )
+    fd = make_open_file(system)
+    for index in range(4000):
+        system.read(fd, (index % 3000) * 128, 100)
+    cap = 0.25 * system.config.cache.shared_memory_bytes
+    # Usage may sit at/near the cap but not blow past it by a slab.
+    assert system.cache.usage_bytes <= cap + system.config.cache.slab_bytes * 2
+
+
+def test_reassignment_fires_on_drifting_sizes():
+    system = configured(
+        cache_overrides=dict(
+            fgrc_bytes=192 * 1024,
+            slab_bytes=64 * 1024,
+            reassign_period=512,
+            reassign_idle_stages=1,
+            dynalloc_enabled=False,
+        )
+    )
+    fd = make_open_file(system)
+    # Phase 1: small objects fill the 64/128 B classes.
+    for index in range(3000):
+        system.read(fd, (index % 2500) * 64, 48)
+    # Phase 2: 1 KiB objects starve; cold small classes should donate.
+    for index in range(4000):
+        system.read(fd, 200_000 + (index % 600) * 1024, 1000)
+    assert system.cache.reassigned_slabs >= 1

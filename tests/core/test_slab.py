@@ -1,0 +1,122 @@
+"""Tests for the slab allocator."""
+
+import pytest
+
+from repro.core.read_cache.slab import CacheItem, SlabAllocator
+
+
+def make_allocator(size=8 * 4096, slab=4096, min_item=64, max_item=1024, growth=2.0):
+    return SlabAllocator(
+        base_addr=0,
+        size_bytes=size,
+        slab_bytes=slab,
+        min_item=min_item,
+        max_item=max_item,
+        growth_factor=growth,
+    )
+
+
+def test_class_capacities_geometric():
+    allocator = make_allocator()
+    capacities = [cls.item_capacity for cls in allocator.classes]
+    assert capacities == [64, 128, 256, 512, 1024]
+
+
+def test_class_for_picks_smallest_fit():
+    allocator = make_allocator()
+    assert allocator.class_for(1).item_capacity == 64
+    assert allocator.class_for(64).item_capacity == 64
+    assert allocator.class_for(65).item_capacity == 128
+    assert allocator.class_for(1024).item_capacity == 1024
+    assert allocator.class_for(1025) is None
+
+
+def test_allocate_carves_sequentially():
+    allocator = make_allocator()
+    cls = allocator.class_for(64)
+    first = allocator.allocate(cls)
+    second = allocator.allocate(cls)
+    assert second == first + 64
+    assert allocator.slabs_in_use == 1
+
+
+def test_allocate_grabs_new_slab_when_exhausted():
+    allocator = make_allocator()
+    cls = allocator.class_for(1024)
+    for _ in range(4):  # 4096-byte slab holds 4 x 1024
+        assert allocator.allocate(cls) is not None
+    assert allocator.slabs_in_use == 1
+    assert allocator.allocate(cls) is not None
+    assert allocator.slabs_in_use == 2
+
+
+def test_allocate_returns_none_when_pool_empty():
+    allocator = make_allocator(size=4096, slab=4096)
+    cls = allocator.class_for(1024)
+    for _ in range(4):
+        allocator.allocate(cls)
+    assert allocator.allocate(cls) is None
+
+
+def test_recycle_feeds_cleanup_array():
+    allocator = make_allocator()
+    cls = allocator.class_for(64)
+    addr = allocator.allocate(cls)
+    item = CacheItem(ino=1, offset=0, length=60, addr=addr, class_index=cls.index)
+    allocator.recycle(item)
+    assert cls.cleanup == [addr]
+    assert allocator.allocate(cls) == addr
+
+
+def test_recycle_overflow_item_is_noop():
+    allocator = make_allocator()
+    cls = allocator.class_for(64)
+    item = CacheItem(ino=1, offset=0, length=60, addr=-1, class_index=cls.index)
+    allocator.recycle(item)
+    assert cls.cleanup == []
+
+
+def test_slab_of_resolves_addresses():
+    allocator = make_allocator()
+    cls = allocator.class_for(64)
+    addr = allocator.allocate(cls)
+    slab = allocator.slab_of(addr)
+    assert addr in slab.items
+    with pytest.raises(KeyError):
+        allocator.slab_of(7 * 4096 + 1)  # free slab, not live
+
+
+def test_release_slab_returns_to_pool():
+    allocator = make_allocator()
+    cls = allocator.class_for(64)
+    addr = allocator.allocate(cls)
+    slab = allocator.slab_of(addr)
+    item = CacheItem(ino=1, offset=0, length=60, addr=addr, class_index=cls.index)
+    allocator.recycle(item)  # drains the slab
+    free_before = len(allocator.free_slabs)
+    allocator.release_slab(cls, slab)
+    assert len(allocator.free_slabs) == free_before + 1
+    assert cls.cleanup == []  # stale cleanup entries purged
+    # Carving cursor was reset; next allocation grabs a fresh slab.
+    assert allocator.allocate(cls) is not None
+
+
+def test_release_slab_with_items_rejected():
+    allocator = make_allocator()
+    cls = allocator.class_for(64)
+    addr = allocator.allocate(cls)
+    slab = allocator.slab_of(addr)
+    with pytest.raises(ValueError):
+        allocator.release_slab(cls, slab)
+
+
+def test_used_bytes_accounting():
+    allocator = make_allocator()
+    assert allocator.used_bytes() == 0
+    allocator.allocate(allocator.class_for(64))
+    assert allocator.used_bytes() == 4096
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_allocator(size=1024, slab=4096)

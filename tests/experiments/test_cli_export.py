@@ -1,0 +1,29 @@
+"""Tests for the CLI's --export and --report options."""
+
+import json
+
+from repro.experiments import cli
+
+
+def test_export_writes_csv_and_json(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    export_dir = tmp_path / "exports"
+    assert cli.main(["table2", "--export", str(export_dir)]) == 0
+    capsys.readouterr()
+    csv_file = export_dir / "table2.csv"
+    json_file = export_dir / "table2.json"
+    assert csv_file.exists() and json_file.exists()
+    rows = json.loads(json_file.read_text())
+    systems = {row["system"] for row in rows}
+    assert "pipette" in systems and "block-io" in systems
+    assert csv_file.read_text().startswith("workload,")
+
+
+def test_report_file_written(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    report_file = tmp_path / "report.txt"
+    assert cli.main(["table2", "--report", str(report_file)]) == 0
+    capsys.readouterr()
+    text = report_file.read_text()
+    assert "Table 2" in text
+    assert "Pipette" in text

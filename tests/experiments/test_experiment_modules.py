@@ -1,0 +1,105 @@
+"""Tiny-scale smoke tests of every experiment runner and the CLI."""
+
+import pytest
+
+from repro.experiments import cli, fig1, fig6, fig7, fig8, fig9, table2, table3, table4
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_scale("tiny")
+
+
+@pytest.mark.parametrize(
+    "module,expected_workloads",
+    [
+        (fig6, ["A", "B", "C", "D", "E"]),
+        (fig7, ["A", "B", "C", "D", "E"]),
+        (table2, ["A", "B", "C", "D", "E"]),
+        (table3, ["A", "B", "C", "D", "E"]),
+        (fig9, ["recommender-system", "social-graph"]),
+        (table4, ["recommender-system", "social-graph"]),
+        (fig1, ["recommender-system", "social-graph"]),
+    ],
+)
+def test_runner_produces_outcome(module, expected_workloads, tiny):
+    outcome = module.run(tiny)
+    assert [c.workload for c in outcome.comparisons] == expected_workloads
+    assert outcome.report
+    assert outcome.experiment
+
+
+def test_fig8_outcome_structure(tiny):
+    outcome = fig8.run(tiny)
+    assert outcome.extra["sizes"] == [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+    # Tail latency supplement present and sane.
+    p99 = outcome.extra["p99_us"]
+    for name, per_size in p99.items():
+        for size, value in per_size.items():
+            assert value >= outcome.extra["latencies_us"][name][size] * 0.5
+    latencies = outcome.extra["latencies_us"]
+    assert set(latencies) == {
+        "block-io",
+        "2b-ssd-mmio",
+        "2b-ssd-dma",
+        "pipette-nocache",
+        "pipette",
+    }
+    for per_size in latencies.values():
+        assert all(value > 0 for value in per_size.values())
+
+
+def test_suite_memoization(tiny):
+    from repro.experiments.synthetic_suite import run_suite
+
+    first = run_suite("uniform", tiny)
+    second = run_suite("uniform", tiny)
+    assert first is second  # memoized per (distribution, scale)
+
+
+def test_outcome_comparison_lookup(tiny):
+    outcome = fig9.run(tiny)
+    assert outcome.comparison("social-graph").workload == "social-graph"
+    with pytest.raises(KeyError):
+        outcome.comparison("nonexistent")
+
+
+def test_cli_list(capsys):
+    assert cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig6", "table2", "fig8"):
+        assert name in out
+
+
+def test_cli_runs_single_experiment(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert cli.main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "Pipette" in out
+
+
+def test_cli_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["figZZ"])
+
+
+def test_paper_values_tables_complete():
+    from repro.experiments import paper_values
+
+    for table in (paper_values.TABLE2_TRAFFIC_MIB, paper_values.TABLE3_TRAFFIC_MIB):
+        assert set(table) == {
+            "block-io",
+            "2b-ssd-mmio",
+            "2b-ssd-dma",
+            "pipette-nocache",
+            "pipette",
+        }
+        for row in table.values():
+            assert set(row) == set("ABCDE")
+    # The published identity: all three no-cache systems share a row.
+    assert (
+        paper_values.TABLE2_TRAFFIC_MIB["2b-ssd-mmio"]
+        == paper_values.TABLE2_TRAFFIC_MIB["pipette-nocache"]
+    )

@@ -1,0 +1,56 @@
+"""Tiny-scale smoke tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import compare, multitenant, qd_sweep, sensitivity
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_scale("tiny")
+
+
+def test_compare_report_mentions_paper_values(tiny):
+    outcome = compare.run(tiny)
+    assert "2973.6" in outcome.report  # published Table 2 block row
+    assert "scale ratio" in outcome.report
+    assert outcome.comparisons
+
+
+def test_sensitivity_produces_monotone_curves(tiny):
+    outcome = sensitivity.run(tiny)
+    hits = outcome.extra["hit_curve"]
+    traffic = outcome.extra["traffic_curve"]
+    assert len(hits) == len(traffic) == len(outcome.extra["sizes"])
+    assert all(b >= a - 1.0 for a, b in zip(hits, hits[1:]))
+    assert "FGRC capacity sweep" in outcome.report
+
+
+def test_qd_sweep_validates_bottleneck_model(tiny):
+    outcome = qd_sweep.run(tiny)
+    assert outcome.extra["block_des_ns"] / outcome.extra["block_prediction_ns"] < 1.2
+    assert (
+        outcome.extra["pipette_des_ns"] / outcome.extra["pipette_prediction_ns"] < 1.2
+    )
+    curve = outcome.extra["pipette_throughput"]
+    assert curve[-1] >= curve[0]
+
+
+def test_multitenant_shares_one_cache(tiny):
+    outcome = multitenant.run(tiny)
+    comparison = outcome.comparisons[0]
+    assert comparison.result("pipette").requests > 0
+    assert "Per-slab-class occupancy" in outcome.report
+    # Mixed tenants -> at least two size classes hold items.
+    occupancy = comparison.result("pipette").cache_stats["_occupancy"]
+    classes_in_use = sum(1 for row in occupancy if row["resident_items"])
+    assert classes_in_use >= 2
+
+
+def test_cli_knows_extension_experiments():
+    from repro.experiments import cli
+
+    for name in ("validate", "compare", "sensitivity", "qd-sweep", "stability", "multitenant"):
+        assert name in cli.EXPERIMENTS
+        assert name in cli.ALL_ORDER

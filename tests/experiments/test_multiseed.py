@@ -1,0 +1,50 @@
+"""Tests for the multi-seed stability helper."""
+
+import pytest
+
+from repro.experiments import multiseed
+from repro.experiments.multiseed import MetricStats
+from repro.experiments.scale import get_scale
+
+
+def test_metric_stats_math():
+    stats = MetricStats.of([1.0, 2.0, 3.0])
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.std == pytest.approx((2 / 3) ** 0.5)
+    assert stats.samples == 3
+    assert "±" in str(stats)
+
+
+def test_metric_stats_empty_and_cv():
+    empty = MetricStats.of([])
+    assert empty.mean == 0.0 and empty.cv == 0.0
+    constant = MetricStats.of([5.0, 5.0])
+    assert constant.cv == 0.0
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return multiseed.run(get_scale("tiny"))
+
+
+def test_runs_all_seeds(outcome):
+    assert len(outcome.comparisons) == len(multiseed.DEFAULT_SEEDS)
+    labels = {comparison.workload for comparison in outcome.comparisons}
+    assert len(labels) == len(multiseed.DEFAULT_SEEDS)
+
+
+def test_baseline_normalization_exact_every_seed(outcome):
+    for comparison in outcome.comparisons:
+        assert comparison.normalized_throughput("block-io") == pytest.approx(1.0)
+
+
+def test_results_stable_across_seeds(outcome):
+    stats = outcome.extra["stats"]["pipette"]["normalized_throughput"]
+    # Different RNG streams, same workload law: low variance expected.
+    assert stats.cv < 0.25
+    assert stats.mean > 1.0  # pipette still wins on average
+
+
+def test_report_rendering(outcome):
+    assert "±" in outcome.report
+    assert "pipette" in outcome.report

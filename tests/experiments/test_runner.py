@@ -1,0 +1,80 @@
+"""Tests for the trace-execution harness."""
+
+import pytest
+
+from repro.analysis.metrics import SYSTEM_ORDER
+from repro.config import MIB
+from repro.experiments.runner import run_comparison, run_trace_on
+from repro.experiments.scale import get_scale
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+from repro.workloads.trace import FileSpec, ReadOp, Trace, WriteOp
+
+
+def tiny_trace(requests=50):
+    return synthetic_trace(
+        SyntheticConfig(workload="E", requests=requests, file_size=1 * MIB)
+    )
+
+
+@pytest.fixture
+def config():
+    return get_scale("tiny").sim_config()
+
+
+def test_run_trace_counts_all_requests(config):
+    result = run_trace_on("pipette", tiny_trace(), config)
+    assert result.requests == 50
+    assert result.demanded_bytes == 50 * 128
+    assert result.elapsed_ns > 0
+
+
+def test_all_systems_accept_the_same_trace(config):
+    trace = tiny_trace()
+    for name in SYSTEM_ORDER:
+        result = run_trace_on(name, trace, config)
+        assert result.requests == 50
+        assert result.demanded_bytes == 50 * 128
+
+
+def test_nocache_traffic_identity(config):
+    """No-cache byte-path systems transfer exactly the demanded bytes."""
+    trace = tiny_trace()
+    for name in ("2b-ssd-mmio", "2b-ssd-dma", "pipette-nocache"):
+        result = run_trace_on(name, trace, config)
+        assert result.traffic_bytes == result.demanded_bytes
+
+
+def test_run_comparison_builds_fresh_systems(config):
+    comparison = run_comparison(tiny_trace(), config, systems=["block-io", "pipette"])
+    assert set(comparison.results) == {"block-io", "pipette"}
+    assert comparison.normalized_throughput("block-io") == pytest.approx(1.0)
+
+
+def test_writes_executed(config):
+    ops = [WriteOp("/f", 0, 16, seed=1), ReadOp("/f", 0, 16)]
+    trace = Trace(name="w", files=[FileSpec("/f", 4096)], build_ops=lambda: ops)
+    result = run_trace_on("pipette", trace, config)
+    assert result.requests == 1  # only reads are counted as requests
+
+
+def test_write_then_read_content_consistency():
+    config = get_scale("tiny").sim_config().scaled(transfer_data=True)
+    op = WriteOp("/f", 100, 16, seed=9)
+    trace = Trace(
+        name="w",
+        files=[FileSpec("/f", 4096)],
+        build_ops=lambda: [op, ReadOp("/f", 100, 16)],
+    )
+    from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
+    from repro.system import build_system
+
+    system = build_system("pipette", config)
+    system.create_file("/f", 4096)
+    fd = system.open("/f", O_RDWR | O_FINE_GRAINED)
+    system.write(fd, op.offset, op.payload())
+    assert system.read(fd, 100, 16) == op.payload()
+
+
+def test_unknown_system_rejected(config):
+    with pytest.raises(KeyError):
+        run_trace_on("warp-drive", tiny_trace(), config)

@@ -1,0 +1,59 @@
+"""Tests for the experiment scaling presets."""
+
+import pytest
+
+from repro.experiments.scale import SCALES, ExperimentScale, get_scale, scaled, sim_config
+
+
+def test_all_presets_build_valid_configs():
+    for name, scale in SCALES.items():
+        config = scale.sim_config()
+        cache = config.cache
+        # The HMB must hold the FGRC layout.
+        needed = cache.fgrc_bytes + cache.tempbuf_bytes + cache.info_area_entries * 12
+        assert config.ssd.mapping_region_bytes >= needed, name
+
+
+def test_preset_names():
+    assert set(SCALES) == {"tiny", "small", "default", "paper"}
+
+
+def test_get_scale_by_name():
+    assert get_scale("tiny").name == "tiny"
+
+
+def test_get_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    assert get_scale().name == "small"
+
+
+def test_get_scale_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert get_scale().name == "default"
+
+
+def test_get_scale_unknown_rejected():
+    with pytest.raises(KeyError):
+        get_scale("galactic")
+
+
+def test_sim_config_accepts_scale_or_name():
+    scale = get_scale("tiny")
+    assert sim_config(scale).cache.shared_memory_bytes == scale.shared_memory_bytes
+    assert sim_config("tiny").cache.shared_memory_bytes == scale.shared_memory_bytes
+
+
+def test_scaled_override():
+    tiny = get_scale("tiny")
+    bigger = scaled(tiny, synthetic_requests=999)
+    assert bigger.synthetic_requests == 999
+    assert isinstance(bigger, ExperimentScale)
+    assert tiny.synthetic_requests != 999
+
+
+def test_file_sizes_exceed_shared_memory():
+    """Working sets must not trivially fit the page cache (see DESIGN.md)."""
+    for name in ("small", "default", "paper"):
+        scale = SCALES[name]
+        assert scale.synthetic_file_bytes > scale.shared_memory_bytes
+        assert scale.recsys_table_bytes_total > scale.shared_memory_bytes

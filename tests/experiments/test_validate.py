@@ -1,0 +1,28 @@
+"""Tests for the paper-claim validation experiment."""
+
+import pytest
+
+from repro.experiments import validate
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return validate.run(get_scale("tiny"))
+
+
+def test_all_claims_pass_at_tiny_scale(outcome):
+    failed = [check for check in outcome.extra["checks"] if not check.passed]
+    assert not failed, "\n".join(f"{c.name}: {c.detail}" for c in failed)
+
+
+def test_report_contains_verdicts(outcome):
+    assert "PASS" in outcome.report
+    assert f"{outcome.extra['passed']}/{outcome.extra['total']} passed" in outcome.report
+
+
+def test_check_count_covers_every_artifact(outcome):
+    names = " ".join(check.name for check in outcome.extra["checks"])
+    for artifact in ("table 2", "table 3", "fig 6", "fig 7", "fig 8", "fig 9", "table 4"):
+        assert artifact in names
+    assert outcome.extra["total"] >= 15

@@ -1,0 +1,92 @@
+"""Cross-system data-consistency tests.
+
+All five systems run on identically imaged devices, so every read —
+whatever path serves it — must return byte-identical data, before and
+after interleaved writes (the paper's section 3.1.3 guarantee).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.metrics import SYSTEM_ORDER
+from repro.config import MIB
+from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
+from repro.system import build_system
+
+from tests.conftest import small_sim_config
+
+FILE = "/data/shared.bin"
+SIZE = 2 * MIB
+
+
+def build_all():
+    systems = {}
+    for name in SYSTEM_ORDER:
+        system = build_system(name, small_sim_config())
+        system.create_file(FILE, SIZE)
+        fd = system.open(FILE, O_RDWR | O_FINE_GRAINED)
+        systems[name] = (system, fd)
+    return systems
+
+
+def test_random_reads_identical_across_systems():
+    systems = build_all()
+    rng = random.Random(123)
+    for _ in range(60):
+        size = rng.choice([8, 17, 128, 500, 4096, 9000])
+        offset = rng.randrange(0, SIZE - size)
+        payloads = {
+            name: system.read(fd, offset, size) for name, (system, fd) in systems.items()
+        }
+        reference = payloads["block-io"]
+        assert reference is not None and len(reference) == size
+        for name, payload in payloads.items():
+            assert payload == reference, f"{name} diverged at ({offset}, {size})"
+
+
+def test_interleaved_writes_stay_consistent():
+    systems = build_all()
+    rng = random.Random(321)
+    for step in range(40):
+        if step % 3 == 0:
+            size = rng.choice([4, 60, 300])
+            offset = rng.randrange(0, SIZE - size)
+            payload = bytes([step % 256]) * size
+            for system, fd in systems.values():
+                system.write(fd, offset, payload)
+        size = rng.choice([8, 128, 700])
+        offset = rng.randrange(0, SIZE - size)
+        reference = None
+        for name, (system, fd) in systems.items():
+            data = system.read(fd, offset, size)
+            if reference is None:
+                reference = data
+            assert data == reference, f"{name} diverged after writes"
+
+
+def test_repeated_reads_stable_within_each_system():
+    systems = build_all()
+    for name, (system, fd) in systems.items():
+        first = system.read(fd, 1234, 99)
+        for _ in range(3):
+            assert system.read(fd, 1234, 99) == first, name
+
+
+def test_write_visibility_is_immediate_everywhere():
+    systems = build_all()
+    for name, (system, fd) in systems.items():
+        system.write(fd, 4000, b"ABCDEFGH")
+        assert system.read(fd, 4000, 8) == b"ABCDEFGH", name
+        # Overlapping partial read also sees the fresh bytes.
+        assert system.read(fd, 3996, 16)[4:12] == b"ABCDEFGH", name
+
+
+@pytest.mark.parametrize("name", SYSTEM_ORDER)
+def test_fsync_durability(name):
+    system = build_system(name, small_sim_config())
+    system.create_file(FILE, SIZE)
+    fd = system.open(FILE, O_RDWR | O_FINE_GRAINED)
+    system.write(fd, 100, b"persist-me")
+    system.fsync(fd)
+    assert system.read(fd, 100, 10) == b"persist-me"

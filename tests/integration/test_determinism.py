@@ -1,0 +1,60 @@
+"""Determinism: identical configurations produce byte-identical results.
+
+ARCHITECTURE.md promises that the same command line reproduces the same
+report; these tests back that claim at the result level for every
+system and for the rendered experiment artifacts.
+"""
+
+import pytest
+
+from repro.analysis.metrics import SYSTEM_ORDER
+from repro.config import MIB
+from repro.experiments.runner import run_trace_on
+from repro.experiments.scale import get_scale
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def config():
+    return get_scale("tiny").sim_config()
+
+
+def snapshot(result):
+    return (
+        result.requests,
+        result.demanded_bytes,
+        result.traffic_bytes,
+        result.elapsed_ns,
+        result.mean_latency_ns,
+        tuple(sorted((k, str(v)) for k, v in result.cache_stats.items())),
+    )
+
+
+@pytest.mark.parametrize("name", SYSTEM_ORDER + ["pipette-cmb", "pipette-rw"])
+def test_two_runs_identical(name, config):
+    trace = synthetic_trace(
+        SyntheticConfig(workload="D", distribution="zipfian", requests=1500, file_size=2 * MIB)
+    )
+    first = run_trace_on(name, trace, config)
+    second = run_trace_on(name, trace, config)
+    assert snapshot(first) == snapshot(second)
+
+
+def test_write_heavy_trace_deterministic(config):
+    trace = social_graph_trace(SocialGraphConfig(nodes=2048, operations=1500))
+    first = run_trace_on("pipette", trace, config)
+    second = run_trace_on("pipette", trace, config)
+    assert snapshot(first) == snapshot(second)
+
+
+def test_experiment_reports_reproducible():
+    from repro.experiments import table2
+    from repro.experiments.synthetic_suite import clear_cache
+
+    tiny = get_scale("tiny")
+    clear_cache()
+    first = table2.run(tiny).report
+    clear_cache()
+    second = table2.run(tiny).report
+    assert first == second

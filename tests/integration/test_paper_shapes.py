@@ -1,0 +1,172 @@
+"""Shape assertions: the paper's qualitative results must hold.
+
+These run the real experiment pipelines at the `tiny` scale and check
+orderings/invariants rather than absolute values (see EXPERIMENTS.md
+for the quantitative comparison at larger scales).
+"""
+
+import pytest
+
+from repro.experiments import fig8
+from repro.experiments.runner import run_comparison
+from repro.experiments.scale import get_scale
+from repro.experiments.synthetic_suite import run_suite
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_scale("tiny")
+
+
+@pytest.fixture(scope="module")
+def uniform(tiny):
+    return run_suite("uniform", tiny)
+
+
+@pytest.fixture(scope="module")
+def zipfian(tiny):
+    return run_suite("zipfian", tiny)
+
+
+def by_workload(comparisons, workload):
+    return next(item for item in comparisons if item.workload == workload)
+
+
+# --- Table 2 / Table 3 invariants -----------------------------------------
+
+
+def test_nocache_traffic_equals_requested_bytes(uniform):
+    """2B-SSD and Pipette w/o cache transfer exactly the demanded bytes."""
+    for comparison in uniform:
+        demanded = comparison.result("block-io").demanded_bytes
+        for name in ("2b-ssd-mmio", "2b-ssd-dma", "pipette-nocache"):
+            assert comparison.result(name).traffic_bytes == demanded
+
+
+def test_block_traffic_independent_of_size_mix(uniform):
+    """Paper: location distribution, not size mix, drives block traffic."""
+    values = [comparison.result("block-io").traffic_bytes for comparison in uniform]
+    spread = (max(values) - min(values)) / max(values)
+    assert spread < 0.15
+
+
+def test_pipette_traffic_never_exceeds_block(uniform):
+    for comparison in uniform:
+        assert (
+            comparison.result("pipette").traffic_bytes
+            <= comparison.result("block-io").traffic_bytes * 1.02
+        )
+
+
+def test_pipette_traffic_decreases_with_small_ratio(uniform):
+    values = [comparison.result("pipette").traffic_bytes for comparison in uniform]
+    assert values == sorted(values, reverse=True)  # A >= B >= ... >= E
+
+
+def test_zipfian_block_traffic_below_uniform(uniform, zipfian):
+    """Table 3 vs Table 2: locality helps the page cache."""
+    uniform_e = by_workload(uniform, "E").result("block-io").traffic_bytes
+    zipf_e = by_workload(zipfian, "E").result("block-io").traffic_bytes
+    assert zipf_e < uniform_e
+
+
+def test_pipette_beats_nocache_traffic_under_zipf(zipfian):
+    """The fine-grained cache absorbs repeated reads."""
+    comparison = by_workload(zipfian, "E")
+    assert (
+        comparison.result("pipette").traffic_bytes
+        < comparison.result("pipette-nocache").traffic_bytes
+    )
+
+
+# --- Fig. 6 / Fig. 7 orderings ----------------------------------------------
+
+
+def test_pipette_no_regression_on_pure_large_reads(uniform):
+    """Workload A: the framework must not hurt the traditional path."""
+    comparison = by_workload(uniform, "A")
+    assert comparison.normalized_throughput("pipette") > 0.95
+
+
+def test_pipette_wins_small_read_workloads(uniform, zipfian):
+    for suite in (uniform, zipfian):
+        comparison = by_workload(suite, "E")
+        assert comparison.normalized_throughput("pipette") > 1.0
+
+
+def test_pipette_improvement_grows_with_small_ratio(zipfian):
+    values = [c.normalized_throughput("pipette") for c in zipfian]
+    assert values[-1] > values[0]  # E beats A
+
+
+def test_mmio_degrades_with_large_reads(uniform):
+    """Paper: MMIO suffers as the large-read percentage increases."""
+    a = by_workload(uniform, "A").normalized_throughput("2b-ssd-mmio")
+    e = by_workload(uniform, "E").normalized_throughput("2b-ssd-mmio")
+    assert a < e
+    assert a < 1.0
+
+
+def test_pipette_beats_nocache_under_zipf(zipfian):
+    comparison = by_workload(zipfian, "E")
+    assert comparison.normalized_throughput("pipette") > comparison.normalized_throughput(
+        "pipette-nocache"
+    )
+
+
+# --- Fig. 8 latency shape ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def latencies(tiny):
+    return fig8.run(tiny).extra["latencies_us"]
+
+
+def test_fig8_block_slowest_byte_paths_faster(latencies):
+    for size in (8, 128, 1024):
+        assert latencies["pipette-nocache"][size] < latencies["2b-ssd-dma"][size]
+        assert latencies["2b-ssd-dma"][size] < latencies["block-io"][size]
+
+
+def test_fig8_mmio_grows_linearly(latencies):
+    mmio = latencies["2b-ssd-mmio"]
+    assert mmio[4096] > mmio[1024] > mmio[128] > mmio[8]
+
+
+def test_fig8_mmio_crossovers(latencies):
+    """MMIO beats the DMA paths for tiny reads, loses for big ones."""
+    assert latencies["2b-ssd-mmio"][8] < latencies["2b-ssd-dma"][8]
+    assert latencies["2b-ssd-mmio"][4096] > latencies["2b-ssd-dma"][4096]
+    # Crossover with the no-mapping byte path happens below ~128 B.
+    assert latencies["2b-ssd-mmio"][8] < latencies["pipette-nocache"][8] + 2.0
+    assert latencies["2b-ssd-mmio"][512] > latencies["pipette-nocache"][512]
+
+
+def test_fig8_non_mmio_systems_stable_across_sizes(latencies):
+    for name in ("block-io", "2b-ssd-dma", "pipette-nocache"):
+        values = [latencies[name][size] for size in (8, 64, 512, 2048)]
+        assert max(values) - min(values) < 5.0  # us
+
+
+# --- warm-cache latency anchor ---------------------------------------------------
+
+
+def test_warm_pipette_latency_near_two_microseconds(tiny):
+    """Paper: Pipette serves cached fine reads in ~2 us."""
+    from repro.experiments.runner import run_trace_on
+
+    config = tiny.sim_config()
+    trace = synthetic_trace(
+        SyntheticConfig(
+            workload="E",
+            distribution="zipfian",
+            zipf_alpha=1.4,  # hot set fits trivially
+            requests=3000,
+            file_size=tiny.synthetic_file_bytes,
+        )
+    )
+    result = run_trace_on("pipette", trace, config)
+    assert result.cache_stats["fgrc_hit_ratio"] > 0.5
+    # Mean latency is pulled down toward the ~2-3 us hit cost.
+    assert result.mean_latency_ns < 35_000

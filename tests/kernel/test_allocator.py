@@ -1,0 +1,110 @@
+"""Tests for the LBA allocator, including a property-based model check."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.fs.allocator import BlockAllocator
+
+
+def test_first_fit_sequential():
+    allocator = BlockAllocator(100, reserved=10)
+    assert allocator.allocate(5) == 10
+    assert allocator.allocate(5) == 15
+
+
+def test_free_then_reuse():
+    allocator = BlockAllocator(100, reserved=0)
+    start = allocator.allocate(10)
+    allocator.free(start, 10)
+    assert allocator.allocate(10) == start
+
+
+def test_free_coalesces_neighbours():
+    allocator = BlockAllocator(100, reserved=0)
+    a = allocator.allocate(10)
+    b = allocator.allocate(10)
+    c = allocator.allocate(10)
+    allocator.free(a, 10)
+    allocator.free(c, 10)
+    allocator.free(b, 10)  # middle free merges all three
+    assert allocator.allocate(30) == a
+
+
+def test_double_free_detected():
+    allocator = BlockAllocator(100, reserved=0)
+    start = allocator.allocate(10)
+    allocator.free(start, 10)
+    with pytest.raises(ValueError):
+        allocator.free(start, 10)
+
+
+def test_partial_overlap_free_detected():
+    allocator = BlockAllocator(100, reserved=0)
+    start = allocator.allocate(10)
+    allocator.free(start, 10)
+    with pytest.raises(ValueError):
+        allocator.free(start + 5, 10)
+
+
+def test_exhaustion_raises_memoryerror():
+    allocator = BlockAllocator(20, reserved=0)
+    allocator.allocate(20)
+    with pytest.raises(MemoryError):
+        allocator.allocate(1)
+
+
+def test_best_effort_spans_fragments():
+    allocator = BlockAllocator(30, reserved=0)
+    a = allocator.allocate(10)
+    b = allocator.allocate(10)
+    c = allocator.allocate(10)
+    allocator.free(a, 10)
+    allocator.free(c, 10)
+    runs = allocator.allocate_best_effort(15)
+    assert sum(length for _, length in runs) == 15
+    assert len(runs) == 2
+
+
+def test_best_effort_rolls_back_on_failure():
+    allocator = BlockAllocator(20, reserved=0)
+    allocator.allocate(10)
+    before = allocator.free_blocks
+    with pytest.raises(MemoryError):
+        allocator.allocate_best_effort(15)
+    assert allocator.free_blocks == before
+
+
+def test_reserved_region_never_handed_out():
+    allocator = BlockAllocator(100, reserved=64)
+    start = allocator.allocate(10)
+    assert start >= 64
+    with pytest.raises(ValueError):
+        allocator.free(0, 10)
+
+
+def test_invalid_sizes_rejected():
+    allocator = BlockAllocator(100)
+    with pytest.raises(ValueError):
+        allocator.allocate(0)
+    with pytest.raises(ValueError):
+        allocator.free(10, 0)
+    with pytest.raises(ValueError):
+        BlockAllocator(10, reserved=10)
+
+
+@given(st.lists(st.integers(1, 12), min_size=1, max_size=40))
+def test_property_alloc_free_conserves_space(sizes):
+    """Allocating then freeing everything restores the full free pool."""
+    allocator = BlockAllocator(1000, reserved=0)
+    allocations: list[tuple[int, int]] = []
+    for size in sizes:
+        allocations.append((allocator.allocate(size), size))
+    # No two allocations overlap.
+    spans = sorted(allocations)
+    for (start_a, len_a), (start_b, _) in zip(spans, spans[1:]):
+        assert start_a + len_a <= start_b
+    for start, size in allocations:
+        allocator.free(start, size)
+    assert allocator.free_blocks == 1000
+    assert allocator.allocate(1000) == 0

@@ -1,0 +1,108 @@
+"""Tests for extents and the extent tree, including property checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.fs.extent import Extent, ExtentTree
+
+
+def test_extent_translate():
+    extent = Extent(logical_start=10, physical_start=100, length=5)
+    assert extent.translate(12) == 102
+    assert extent.logical_end == 15
+
+
+def test_extent_translate_outside_rejected():
+    extent = Extent(10, 100, 5)
+    with pytest.raises(ValueError):
+        extent.translate(15)
+
+
+def test_extent_validation():
+    with pytest.raises(ValueError):
+        Extent(-1, 0, 1)
+    with pytest.raises(ValueError):
+        Extent(0, 0, 0)
+
+
+def test_tree_insert_and_find():
+    tree = ExtentTree()
+    tree.insert(Extent(0, 1000, 4))
+    tree.insert(Extent(10, 2000, 2))
+    assert tree.translate(2) == 1002
+    assert tree.translate(11) == 2001
+    assert tree.find(5) is None
+
+
+def test_tree_hole_raises_keyerror():
+    tree = ExtentTree()
+    tree.insert(Extent(0, 100, 1))
+    with pytest.raises(KeyError):
+        tree.translate(1)
+
+
+def test_tree_rejects_overlap():
+    tree = ExtentTree()
+    tree.insert(Extent(0, 100, 4))
+    with pytest.raises(ValueError):
+        tree.insert(Extent(2, 500, 4))
+    with pytest.raises(ValueError):
+        tree.insert(Extent(3, 500, 1))
+
+
+def test_tree_coalesces_adjacent_contiguous():
+    tree = ExtentTree()
+    tree.insert(Extent(0, 100, 4))
+    tree.insert(Extent(4, 104, 4))
+    assert len(tree) == 1
+    assert tree.translate(7) == 107
+
+
+def test_tree_does_not_coalesce_noncontiguous_physical():
+    tree = ExtentTree()
+    tree.insert(Extent(0, 100, 4))
+    tree.insert(Extent(4, 500, 4))
+    assert len(tree) == 2
+
+
+def test_last_mapped_page():
+    tree = ExtentTree()
+    assert tree.last_mapped_page() == -1
+    tree.insert(Extent(0, 100, 4))
+    tree.insert(Extent(8, 200, 2))
+    assert tree.last_mapped_page() == 9
+
+
+def test_mapped_pages_counts():
+    tree = ExtentTree()
+    tree.insert(Extent(0, 100, 4))
+    tree.insert(Extent(8, 200, 2))
+    assert tree.mapped_pages == 6
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 200), st.integers(1, 8)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_tree_matches_reference_map(raw_extents):
+    """Inserting non-overlapping extents yields a correct page->lba map."""
+    tree = ExtentTree()
+    reference: dict[int, int] = {}
+    next_physical = 10_000
+    for logical_start, length in raw_extents:
+        pages = range(logical_start, logical_start + length)
+        if any(page in reference for page in pages):
+            with pytest.raises(ValueError):
+                tree.insert(Extent(logical_start, next_physical, length))
+        else:
+            tree.insert(Extent(logical_start, next_physical, length))
+            for index, page in enumerate(pages):
+                reference[page] = next_physical + index
+        next_physical += 1000
+    for page, lba in reference.items():
+        assert tree.translate(page) == lba
+    assert tree.mapped_pages == len(reference)

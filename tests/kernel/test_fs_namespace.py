@@ -1,0 +1,76 @@
+"""Tests for the file system's namespace extras: listdir/stat/rename."""
+
+import pytest
+
+from repro.kernel.fs.ext4 import ExtentFileSystem
+
+
+@pytest.fixture
+def fs():
+    instance = ExtentFileSystem(total_pages=4096, page_size=4096)
+    instance.makedirs("/data/sub")
+    instance.create("/data/a.bin", 4096)
+    instance.create("/data/b.bin", 8192)
+    return instance
+
+
+def test_listdir_sorted(fs):
+    assert fs.listdir("/data") == ["a.bin", "b.bin", "sub"]
+    assert fs.listdir("/") == ["data"]
+    assert fs.listdir("/data/sub") == []
+
+
+def test_listdir_on_file_rejected(fs):
+    with pytest.raises(NotADirectoryError):
+        fs.listdir("/data/a.bin")
+
+
+def test_stat_fields(fs):
+    stat = fs.stat("/data/b.bin")
+    assert stat["size"] == 8192
+    assert stat["type"] == "file"
+    assert stat["blocks"] == 2
+    assert stat["extents"] >= 1
+    assert fs.stat("/data")["type"] == "directory"
+
+
+def test_rename_within_directory(fs):
+    fs.rename("/data/a.bin", "/data/renamed.bin")
+    assert fs.exists("/data/renamed.bin")
+    assert not fs.exists("/data/a.bin")
+    assert fs.stat("/data/renamed.bin")["size"] == 4096
+
+
+def test_rename_across_directories(fs):
+    fs.rename("/data/a.bin", "/data/sub/a.bin")
+    assert fs.exists("/data/sub/a.bin")
+    assert fs.listdir("/data") == ["b.bin", "sub"]
+
+
+def test_rename_preserves_inode_and_content_mapping(fs):
+    ino_before = fs.stat("/data/a.bin")["ino"]
+    lba_before = fs.page_lba(fs.lookup("/data/a.bin"), 0)
+    fs.rename("/data/a.bin", "/data/moved.bin")
+    assert fs.stat("/data/moved.bin")["ino"] == ino_before
+    assert fs.page_lba(fs.lookup("/data/moved.bin"), 0) == lba_before
+
+
+def test_rename_collision_rejected(fs):
+    with pytest.raises(FileExistsError):
+        fs.rename("/data/a.bin", "/data/b.bin")
+
+
+def test_rename_missing_source_rejected(fs):
+    with pytest.raises(FileNotFoundError):
+        fs.rename("/data/ghost.bin", "/data/x.bin")
+
+
+def test_rename_root_rejected(fs):
+    with pytest.raises(ValueError):
+        fs.rename("/", "/elsewhere")
+
+
+def test_rename_directory(fs):
+    fs.create("/data/sub/leaf", 100)
+    fs.rename("/data/sub", "/data/tub")
+    assert fs.exists("/data/tub/leaf")

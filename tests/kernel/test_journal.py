@@ -1,0 +1,154 @@
+"""Tests for metadata journaling and crash recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.fs.journal import (
+    Journal,
+    JournalOp,
+    JournalRecord,
+    JournaledFileSystem,
+)
+
+
+def make_jfs() -> JournaledFileSystem:
+    return JournaledFileSystem(total_pages=4096)
+
+
+def namespace_snapshot(jfs: JournaledFileSystem, root: str = "/") -> dict[str, int]:
+    """path -> size for every file reachable from root."""
+    snapshot: dict[str, int] = {}
+
+    def walk(path: str) -> None:
+        for name in jfs.listdir(path):
+            child = (path.rstrip("/") + "/" + name) if path != "/" else "/" + name
+            stat = jfs.stat(child)
+            if stat["type"] == "directory":
+                walk(child)
+            else:
+                snapshot[child] = int(stat["size"])
+
+    walk(root)
+    return snapshot
+
+
+# --- journal mechanics -------------------------------------------------------
+
+
+def test_commit_moves_records_to_log():
+    journal = Journal()
+    txid = journal.begin()
+    journal.log(JournalRecord(txid, JournalOp.CREATE, "/f", size=10))
+    journal.commit(txid)
+    assert len(journal.committed) == 1
+    assert journal.commits == 1
+
+
+def test_abort_discards_records():
+    journal = Journal()
+    txid = journal.begin()
+    journal.log(JournalRecord(txid, JournalOp.CREATE, "/f"))
+    journal.abort(txid)
+    assert journal.committed == []
+    assert journal.aborts == 1
+
+
+def test_log_to_closed_transaction_rejected():
+    journal = Journal()
+    with pytest.raises(ValueError):
+        journal.log(JournalRecord(99, JournalOp.CREATE, "/f"))
+    with pytest.raises(ValueError):
+        journal.commit(99)
+    with pytest.raises(ValueError):
+        journal.abort(99)
+
+
+def test_crash_drops_open_transactions():
+    journal = Journal()
+    committed_tx = journal.begin()
+    journal.log(JournalRecord(committed_tx, JournalOp.CREATE, "/a"))
+    journal.commit(committed_tx)
+    open_tx = journal.begin()
+    journal.log(JournalRecord(open_tx, JournalOp.CREATE, "/b"))
+    survivors = journal.crash()
+    assert [record.path for record in survivors] == ["/a"]
+
+
+# --- journaled FS + recovery ----------------------------------------------------
+
+
+def test_recovery_reproduces_namespace():
+    jfs = make_jfs()
+    jfs.mkdir("/data")
+    jfs.create("/data/a.bin", 4096)
+    jfs.create("/data/b.bin", 8192)
+    jfs.rename("/data/b.bin", "/data/c.bin")
+    jfs.truncate("/data/a.bin", 12288)
+    jfs.unlink("/data/c.bin")
+    recovered = jfs.crash_and_recover()
+    assert namespace_snapshot(recovered) == namespace_snapshot(jfs)
+    assert recovered.stat("/data/a.bin")["size"] == 12288
+    assert not recovered.exists("/data/c.bin")
+
+
+def test_failed_operation_is_aborted_not_logged():
+    jfs = make_jfs()
+    jfs.create("/f", 10)
+    with pytest.raises(FileExistsError):
+        jfs.create("/f", 10)
+    assert jfs.journal.aborts == 1
+    recovered = jfs.crash_and_recover()
+    assert recovered.stat("/f")["size"] == 10
+
+
+def test_recovered_fs_remains_usable():
+    jfs = make_jfs()
+    jfs.mkdir("/d")
+    recovered = jfs.crash_and_recover()
+    recovered.create("/d/new.bin", 4096)
+    assert recovered.exists("/d/new.bin")
+    twice = recovered.crash_and_recover()
+    assert twice.exists("/d/new.bin")
+
+
+def test_double_recovery_is_stable():
+    jfs = make_jfs()
+    jfs.create("/x", 100)
+    once = jfs.crash_and_recover()
+    twice = once.crash_and_recover()
+    assert namespace_snapshot(once) == namespace_snapshot(twice)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["create", "mkdir", "rename", "unlink", "truncate"]),
+            st.integers(0, 5),
+            st.integers(0, 5),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_recovery_equals_live_namespace(operations):
+    """Whatever committed, recovery reproduces the live namespace."""
+    jfs = make_jfs()
+    for kind, a, b in operations:
+        path = f"/n{a}"
+        other = f"/n{b}"
+        try:
+            if kind == "create":
+                jfs.create(path, size=(a + 1) * 512)
+            elif kind == "mkdir":
+                jfs.mkdir(path)
+            elif kind == "rename":
+                jfs.rename(path, other)
+            elif kind == "unlink":
+                jfs.unlink(path)
+            else:
+                jfs.truncate(path, (b + 1) * 4096)
+        except (OSError, ValueError, NotImplementedError):
+            continue  # rejected ops must leave no journal residue
+    recovered = jfs.crash_and_recover()
+    assert namespace_snapshot(recovered) == namespace_snapshot(jfs)

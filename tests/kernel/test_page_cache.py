@@ -1,0 +1,123 @@
+"""Tests for the page cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.page_cache import PageCache
+
+
+def make_cache(pages=4, **kwargs) -> PageCache:
+    return PageCache(capacity_bytes=pages * 4096, page_size=4096, **kwargs)
+
+
+def test_lookup_miss_then_hit():
+    cache = make_cache()
+    assert cache.lookup(1, 0) is None
+    cache.insert(1, 0, b"x" * 4096)
+    found = cache.lookup(1, 0)
+    assert found is not None and found.content == b"x" * 4096
+    assert cache.counter.hits == 1
+    assert cache.counter.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = make_cache(pages=2)
+    cache.insert(1, 0, None)
+    cache.insert(1, 1, None)
+    cache.lookup(1, 0)  # promote page 0
+    cache.insert(1, 2, None)  # evicts page 1 (LRU)
+    assert cache.peek(1, 1) is None
+    assert cache.peek(1, 0) is not None
+    assert cache.evictions == 1
+
+
+def test_peek_does_not_count_or_promote():
+    cache = make_cache(pages=2)
+    cache.insert(1, 0, None)
+    cache.insert(1, 1, None)
+    cache.peek(1, 0)
+    cache.insert(1, 2, None)  # page 0 still LRU -> evicted
+    assert cache.peek(1, 0) is None
+    assert cache.counter.accesses == 0
+
+
+def test_capacity_shrink_evicts():
+    cache = make_cache(pages=4)
+    for page in range(4):
+        cache.insert(1, page, None)
+    evicted = cache.set_capacity(2 * 4096)
+    assert evicted == 2
+    assert len(cache) == 2
+
+
+def test_dirty_eviction_triggers_writeback():
+    written = []
+    cache = make_cache(pages=1, writeback=lambda ino, page, content: written.append((ino, page)))
+    cache.insert(1, 0, b"a" * 4096, dirty=True)
+    cache.insert(1, 1, None)  # evicts dirty page 0
+    assert written == [(1, 0)]
+
+
+def test_mark_dirty_and_clean():
+    cache = make_cache()
+    cache.insert(1, 0, None)
+    cache.mark_dirty(1, 0)
+    assert cache.dirty_pages() == [(1, 0)]
+    cache.clean(1, 0)
+    assert cache.dirty_pages() == []
+
+
+def test_mark_dirty_missing_raises():
+    with pytest.raises(KeyError):
+        make_cache().mark_dirty(1, 0)
+
+
+def test_invalidate_page_and_file():
+    cache = make_cache(pages=8)
+    for page in range(3):
+        cache.insert(1, page, None)
+    cache.insert(2, 0, None)
+    assert cache.invalidate(1, 1)
+    assert not cache.invalidate(1, 1)
+    assert cache.invalidate_file(1) == 2
+    assert cache.peek(2, 0) is not None
+
+
+def test_insert_refresh_keeps_dirty_bit():
+    cache = make_cache()
+    cache.insert(1, 0, b"a" * 4096, dirty=True)
+    cache.insert(1, 0, b"b" * 4096)
+    page = cache.peek(1, 0)
+    assert page is not None and page.dirty
+    assert page.content == b"b" * 4096
+    assert cache.insertions == 1
+
+
+def test_peak_usage_tracks_high_water():
+    cache = make_cache(pages=4)
+    for page in range(4):
+        cache.insert(1, page, None)
+    cache.set_capacity(4096)
+    assert cache.peak_usage_bytes == 4 * 4096
+    assert cache.usage_bytes == 4096
+
+
+def test_too_small_capacity_rejected():
+    with pytest.raises(ValueError):
+        PageCache(capacity_bytes=100, page_size=4096)
+    cache = make_cache()
+    with pytest.raises(ValueError):
+        cache.set_capacity(0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.booleans()), max_size=80))
+def test_property_capacity_never_exceeded(operations):
+    """Whatever the op sequence, usage stays within capacity."""
+    cache = make_cache(pages=3)
+    for page, is_insert in operations:
+        if is_insert:
+            cache.insert(7, page, None)
+        else:
+            cache.lookup(7, page)
+        assert cache.usage_bytes <= cache.capacity_bytes

@@ -1,0 +1,66 @@
+"""Tests for the read-ahead policy."""
+
+from repro.config import ReadaheadConfig
+from repro.kernel.readahead import ReadaheadState
+
+
+def make_state(**kwargs) -> ReadaheadState:
+    return ReadaheadState(ReadaheadConfig(**kwargs))
+
+
+def test_random_miss_reads_no_extra_by_default():
+    state = make_state()
+    assert state.on_access(100, was_miss=True, file_pages=1000) == []
+
+
+def test_sequential_stream_opens_window():
+    state = make_state()
+    state.on_access(10, was_miss=True, file_pages=1000)
+    extra = state.on_access(11, was_miss=True, file_pages=1000)
+    assert extra == [12, 13, 14, 15]  # initial window of 4
+
+
+def test_window_doubles_up_to_max():
+    state = make_state()
+    state.on_access(0, was_miss=True, file_pages=10_000)
+    sizes = []
+    for page in range(1, 8):
+        sizes.append(len(state.on_access(page, was_miss=True, file_pages=10_000)))
+    assert sizes[0] == 4
+    assert sizes[1] == 8
+    assert max(sizes) <= ReadaheadConfig().max_window_pages
+
+
+def test_random_jump_resets_window():
+    state = make_state()
+    state.on_access(0, was_miss=True, file_pages=1000)
+    state.on_access(1, was_miss=True, file_pages=1000)
+    state.on_access(500, was_miss=True, file_pages=1000)
+    assert state.window_pages == 0
+    extra = state.on_access(501, was_miss=True, file_pages=1000)
+    assert extra == [502, 503, 504, 505]
+
+
+def test_hits_never_trigger_readahead():
+    state = make_state()
+    state.on_access(0, was_miss=True, file_pages=1000)
+    assert state.on_access(1, was_miss=False, file_pages=1000) == []
+
+
+def test_window_clamped_to_file_end():
+    state = make_state()
+    state.on_access(7, was_miss=True, file_pages=10)
+    extra = state.on_access(8, was_miss=True, file_pages=10)
+    assert extra == [9]
+
+
+def test_disabled_readahead():
+    state = make_state(enabled=False)
+    state.on_access(0, was_miss=True, file_pages=1000)
+    assert state.on_access(1, was_miss=True, file_pages=1000) == []
+
+
+def test_random_extra_pages_config():
+    state = make_state(random_extra_pages=2)
+    extra = state.on_access(100, was_miss=True, file_pages=1000)
+    assert extra == [101, 102]

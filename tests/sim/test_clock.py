@@ -1,0 +1,38 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now_ns == 0.0
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(10.0)
+    clock.advance(2.5)
+    assert clock.now_ns == 12.5
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock(5.0)
+    assert clock.advance(1.0) == 6.0
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(-5.0)
+
+
+def test_reset_rewinds():
+    clock = VirtualClock(100.0)
+    clock.reset()
+    assert clock.now_ns == 0.0

@@ -1,0 +1,53 @@
+"""Property tests for the pipeline simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.queueing import PipelineSimulator, RequestDemand
+
+demand = st.builds(
+    RequestDemand,
+    host_ns=st.floats(0.0, 50.0),
+    nand_ns=st.floats(0.0, 100.0),
+    channel=st.integers(0, 7),
+    pcie_ns=st.floats(0.0, 10.0),
+)
+
+
+@given(st.lists(demand, min_size=1, max_size=200), st.sampled_from([1, 2, 8, 64]))
+@settings(max_examples=60, deadline=None)
+def test_total_time_never_beats_bottleneck(demands, depth):
+    """No schedule finishes before the busiest resource's total work."""
+    simulator = PipelineSimulator(channels=8, host_servers=4)
+    result = simulator.run(demands, queue_depth=depth)
+    assert result.total_ns >= simulator.bottleneck_prediction_ns(demands) - 1e-6
+
+
+@given(st.lists(demand, min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_latency_never_below_serial_demand(demands):
+    """Each request's latency is at least its own service time."""
+    simulator = PipelineSimulator(channels=8, host_servers=4)
+    result = simulator.run(demands, queue_depth=4, keep_latencies=True)
+    for request, latency in zip(demands, result.latencies_ns):
+        serial = request.host_ns + request.nand_ns + request.pcie_ns
+        assert latency >= serial - 1e-6
+
+
+@given(st.lists(demand, min_size=1, max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_busy_time_accounting_exact(demands):
+    simulator = PipelineSimulator(channels=8, host_servers=4)
+    result = simulator.run(demands, queue_depth=8)
+    assert result.host_busy_ns == sum(d.host_ns for d in demands)
+    assert result.nand_busy_ns == sum(d.nand_ns for d in demands)
+    assert result.pcie_busy_ns == sum(d.pcie_ns for d in demands)
+
+
+@given(st.lists(demand, min_size=2, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_deeper_queue_never_slower_overall(demands):
+    simulator = PipelineSimulator(channels=8, host_servers=4)
+    shallow = simulator.run(demands, queue_depth=1).total_ns
+    deep = simulator.run(demands, queue_depth=32).total_ns
+    assert deep <= shallow + 1e-6

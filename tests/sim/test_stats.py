@@ -1,0 +1,86 @@
+"""Tests for counters and the traffic meter."""
+
+import pytest
+
+from repro.sim.stats import Counter, HitMissCounter, StatRegistry, TrafficMeter
+
+
+def test_counter_increments():
+    counter = Counter("x")
+    counter.incr()
+    counter.incr(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").incr(-1)
+
+
+def test_hit_miss_ratio():
+    counter = HitMissCounter()
+    counter.hit()
+    counter.hit()
+    counter.miss()
+    assert counter.accesses == 3
+    assert counter.hit_ratio == pytest.approx(2 / 3)
+
+
+def test_hit_ratio_empty_is_zero():
+    assert HitMissCounter().hit_ratio == 0.0
+
+
+def test_traffic_meter_directions():
+    meter = TrafficMeter()
+    meter.device_read(100)
+    meter.device_write(40)
+    meter.demand(60)
+    assert meter.device_to_host_bytes == 100
+    assert meter.host_to_device_bytes == 40
+    assert meter.read_amplification == pytest.approx(100 / 60)
+
+
+def test_traffic_meter_write_context_splits_attribution():
+    meter = TrafficMeter()
+    meter.device_read(100)
+    meter.write_context = True
+    meter.device_read(4096)
+    meter.write_context = False
+    meter.device_read(28)
+    assert meter.device_to_host_bytes == 128
+    assert meter.write_induced_bytes == 4096
+
+
+def test_traffic_meter_rejects_negative():
+    meter = TrafficMeter()
+    with pytest.raises(ValueError):
+        meter.device_read(-1)
+    with pytest.raises(ValueError):
+        meter.device_write(-1)
+    with pytest.raises(ValueError):
+        meter.demand(-1)
+
+
+def test_traffic_meter_reset():
+    meter = TrafficMeter()
+    meter.device_read(10)
+    meter.write_context = True
+    meter.reset()
+    assert meter.device_to_host_bytes == 0
+    assert not meter.write_context
+
+
+def test_amplification_without_demand_is_zero():
+    meter = TrafficMeter()
+    meter.device_read(10)
+    assert meter.read_amplification == 0.0
+
+
+def test_registry_fetch_or_create():
+    registry = StatRegistry()
+    registry.incr("a")
+    registry.incr("a", 2)
+    registry.incr("b")
+    assert registry.value("a") == 3
+    assert registry.value("missing") == 0
+    assert registry.snapshot() == {"a": 3, "b": 1}

@@ -1,0 +1,74 @@
+"""Tests for the NVMe admin layer (IDENTIFY, SET FEATURES / HMB)."""
+
+import pytest
+
+from repro.config import MIB, CacheConfig, SimConfig, SSDSpec
+from repro.ssd.admin import FEATURE_HMB, AdminState, IdentifyController
+from repro.ssd.device import SSDDevice
+
+
+def make_spec(**kwargs) -> SSDSpec:
+    defaults = dict(capacity_bytes=64 * MIB, mapping_region_bytes=4 * MIB)
+    defaults.update(kwargs)
+    return SSDSpec(**defaults)
+
+
+def test_identify_reflects_spec():
+    spec = make_spec()
+    identity = IdentifyController.from_spec(spec)
+    assert identity.channels == spec.channels
+    assert identity.hmb_preferred_bytes == spec.mapping_region_bytes
+    assert identity.hmb_minimum_bytes < identity.hmb_preferred_bytes
+    assert identity.capacity_bytes == spec.capacity_bytes
+
+
+def test_set_hmb_feature_enables():
+    admin = AdminState(spec=make_spec())
+    assert not admin.hmb_enabled
+    granted = admin.set_feature(FEATURE_HMB, 4 * MIB)
+    assert granted == 4 * MIB
+    assert admin.hmb_enabled
+    assert admin.get_feature(FEATURE_HMB) == 4 * MIB
+
+
+def test_hmb_grant_below_minimum_rejected():
+    admin = AdminState(spec=make_spec())
+    minimum = IdentifyController.from_spec(make_spec()).hmb_minimum_bytes
+    with pytest.raises(ValueError):
+        admin.set_feature(FEATURE_HMB, minimum - 1)
+
+
+def test_hmb_can_be_disabled_with_zero():
+    admin = AdminState(spec=make_spec())
+    admin.set_feature(FEATURE_HMB, 4 * MIB)
+    admin.set_feature(FEATURE_HMB, 0)
+    assert not admin.hmb_enabled
+
+
+def test_other_features_stored():
+    admin = AdminState(spec=make_spec())
+    admin.set_feature(0x02, 7)  # power management, say
+    assert admin.get_feature(0x02) == 7
+    assert not admin.hmb_enabled
+
+
+def test_device_enable_hmb_runs_protocol():
+    config = SimConfig(
+        ssd=make_spec(),
+        cache=CacheConfig(shared_memory_bytes=MIB, fgrc_bytes=512 * 1024),
+    )
+    device = SSDDevice(config)
+    latency = device.enable_hmb()
+    assert latency > 0
+    assert device.admin.hmb_enabled
+    assert device.admin.hmb_granted_bytes == config.ssd.mapping_region_bytes
+    # IDENTIFY + SET FEATURES both went through the admin state machine.
+    assert device.admin.commands_handled >= 2
+
+
+def test_pipette_system_negotiates_hmb():
+    from repro.system import build_system
+    from tests.conftest import small_sim_config
+
+    system = build_system("pipette", small_sim_config())
+    assert system.device.admin.hmb_enabled

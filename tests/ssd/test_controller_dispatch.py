@@ -1,0 +1,58 @@
+"""Tests for controller NVMe command dispatch."""
+
+import pytest
+
+from repro.config import MIB, CacheConfig, SimConfig, SSDSpec
+from repro.ssd.device import SSDDevice
+from repro.ssd.nvme import NvmeCommand, NvmeOpcode
+
+
+@pytest.fixture
+def device():
+    spec = SSDSpec(capacity_bytes=64 * MIB, mapping_region_bytes=2 * MIB)
+    config = SimConfig(
+        ssd=spec, cache=CacheConfig(shared_memory_bytes=MIB, fgrc_bytes=512 * 1024)
+    )
+    return SSDDevice(config)
+
+
+def test_read_command_executes(device):
+    completion = device.submit(NvmeCommand(opcode=NvmeOpcode.READ, lba=5, nlb=2))
+    assert completion.success
+    pages, nand_ns_each = completion.result
+    assert len(pages) == 2
+    assert len(nand_ns_each) == 2
+    assert all(ns > 0 for ns in nand_ns_each)
+
+
+def test_flush_acks_immediately(device):
+    completion = device.submit(NvmeCommand(opcode=NvmeOpcode.FLUSH))
+    assert completion.success
+
+
+def test_unknown_vendor_opcode_rejected(device):
+    completion = device.submit(NvmeCommand(opcode=NvmeOpcode.FINE_GRAINED_READ))
+    # No engine installed: invalid-opcode status.
+    assert not completion.success
+
+
+def test_installed_extension_receives_command(device):
+    handled = []
+
+    class Recorder:
+        def handle(self, command):
+            handled.append(command.opcode)
+            from repro.ssd.nvme import NvmeCompletion
+
+            return NvmeCompletion(cid=command.cid)
+
+    device.install_fine_read_engine(Recorder())
+    completion = device.submit(NvmeCommand(opcode=NvmeOpcode.FINE_GRAINED_READ))
+    assert completion.success
+    assert handled == [NvmeOpcode.FINE_GRAINED_READ]
+
+
+def test_cid_assigned_monotonically(device):
+    first = device.submit(NvmeCommand(opcode=NvmeOpcode.FLUSH))
+    second = device.submit(NvmeCommand(opcode=NvmeOpcode.FLUSH))
+    assert second.cid == first.cid + 1

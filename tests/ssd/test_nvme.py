@@ -1,0 +1,82 @@
+"""Tests for the NVMe command/queue layer."""
+
+import pytest
+
+from repro.ssd.nvme import (
+    CompletionQueue,
+    FineReadRange,
+    NvmeCommand,
+    NvmeCompletion,
+    NvmeOpcode,
+    NvmeQueuePair,
+    SubmissionQueue,
+)
+
+
+def test_ring_push_pop_fifo():
+    ring = SubmissionQueue(4)
+    ring.push("a")
+    ring.push("b")
+    assert ring.pop() == "a"
+    assert ring.pop() == "b"
+
+
+def test_ring_full_rejected():
+    ring = SubmissionQueue(4)
+    for index in range(3):  # depth-1 usable slots
+        ring.push(index)
+    assert ring.full
+    with pytest.raises(RuntimeError):
+        ring.push("overflow")
+
+
+def test_ring_empty_pop_rejected():
+    with pytest.raises(RuntimeError):
+        CompletionQueue(4).pop()
+
+
+def test_ring_depth_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        SubmissionQueue(3)
+    with pytest.raises(ValueError):
+        SubmissionQueue(1)
+
+
+def test_ring_wraps_indices():
+    ring = SubmissionQueue(4)
+    for value in range(10):
+        ring.push(value)
+        assert ring.pop() == value
+    assert len(ring) == 0
+
+
+def test_queue_pair_executes_and_assigns_cids():
+    seen = []
+
+    def executor(command):
+        seen.append(command.cid)
+        return NvmeCompletion(cid=command.cid, result="ok")
+
+    pair = NvmeQueuePair(executor, depth=8)
+    first = pair.submit(NvmeCommand(opcode=NvmeOpcode.READ))
+    second = pair.submit(NvmeCommand(opcode=NvmeOpcode.READ))
+    assert first.success and second.success
+    assert seen == [0, 1]
+    assert pair.submitted == 2
+    assert pair.completed == 2
+
+
+def test_queue_pair_propagates_status():
+    pair = NvmeQueuePair(lambda c: NvmeCompletion(cid=c.cid, status=0x5), depth=8)
+    completion = pair.submit(NvmeCommand(opcode=NvmeOpcode.FLUSH))
+    assert not completion.success
+
+
+def test_fine_read_range_fields():
+    fine = FineReadRange(lba=3, offset_in_page=100, length=28, dest_addr=777)
+    assert (fine.lba, fine.offset_in_page, fine.length, fine.dest_addr) == (3, 100, 28, 777)
+
+
+def test_vendor_opcode_value():
+    # Vendor-specific opcodes start at 0xC0 in NVMe.
+    assert NvmeOpcode.FINE_GRAINED_READ >= 0xC0

@@ -1,0 +1,55 @@
+"""Tests for wear/endurance accounting in the FTL and NAND array."""
+
+from repro.config import MIB, SSDSpec, TimingModel
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.nand import FlashArray
+
+
+def make_ftl(capacity_bytes=1 * MIB, pages_per_block=4) -> FlashTranslationLayer:
+    spec = SSDSpec(capacity_bytes=capacity_bytes, pages_per_block=pages_per_block)
+    return FlashTranslationLayer(nand=FlashArray.create(spec, TimingModel()))
+
+
+def full_page(ftl, fill):
+    return bytes([fill]) * ftl.nand.spec.page_size
+
+
+def test_wear_report_empty():
+    report = make_ftl().wear_report()
+    assert report.total_erases == 0
+    assert report.blocks_touched == 0
+    assert report.write_amplification == 0.0
+
+
+def test_write_amplification_without_gc_is_one():
+    ftl = make_ftl()
+    for index in range(8):
+        ftl.write(index, full_page(ftl, index))
+    report = ftl.wear_report()
+    assert report.write_amplification == 1.0
+    assert report.total_erases == 0
+
+
+def test_gc_increases_wear_and_amplification():
+    ftl = make_ftl()
+    op_pages = ftl.nand.physical_pages - ftl.nand.spec.total_pages
+    for index in range(op_pages * 3):
+        ftl.write(index % 4, full_page(ftl, index % 256))
+    report = ftl.wear_report()
+    assert report.total_erases >= 1
+    assert report.blocks_touched >= 1
+    assert report.max_erases >= report.min_erases >= 1
+    assert report.mean_erases > 0
+    assert report.write_amplification >= 1.0
+
+
+def test_erase_counts_accumulate_per_block():
+    ftl = make_ftl()
+    ftl.nand.erase_block(3)
+    ftl.nand.erase_block(3)
+    ftl.nand.erase_block(5)
+    assert ftl.nand.erase_counts == {3: 2, 5: 1}
+    report = ftl.wear_report()
+    assert report.max_erases == 2
+    assert report.min_erases == 1
+    assert report.total_erases == 3

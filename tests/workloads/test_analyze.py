@@ -1,0 +1,91 @@
+"""Tests for the workload characterization module."""
+
+import pytest
+
+from repro.config import MIB
+from repro.workloads.analyze import characterize, render_profile
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+from repro.workloads.trace import FileSpec, ReadOp, Trace, WriteOp
+
+
+def fixed_trace(ops):
+    return Trace(name="fixed", files=[FileSpec("/f", 1 * MIB)], build_ops=lambda: ops)
+
+
+def test_counts_and_sizes():
+    profile = characterize(
+        fixed_trace(
+            [
+                ReadOp("/f", 0, 100),
+                ReadOp("/f", 200, 300),
+                WriteOp("/f", 0, 50),
+            ]
+        )
+    )
+    assert profile.reads == 2
+    assert profile.writes == 1
+    assert profile.read_bytes == 400
+    assert profile.write_bytes == 50
+    assert profile.min_read == 100
+    assert profile.max_read == 300
+    assert profile.mean_read == 200.0
+
+
+def test_reuse_and_distinct_ranges():
+    profile = characterize(
+        fixed_trace([ReadOp("/f", 0, 64)] * 3 + [ReadOp("/f", 64, 64)])
+    )
+    assert profile.distinct_ranges == 2
+    assert profile.repeated_reads == 2
+    assert profile.reuse_fraction == pytest.approx(0.5)
+    assert profile.top_range_share == pytest.approx(0.75)
+
+
+def test_working_sets_and_headroom():
+    # Two 64 B ranges on two distinct pages: page WS = 8 KiB, fine = 128 B.
+    profile = characterize(
+        fixed_trace([ReadOp("/f", 0, 64), ReadOp("/f", 4096, 64)])
+    )
+    assert profile.fine_working_set_bytes == 128
+    assert profile.distinct_pages == 2
+    assert profile.amplification_headroom == pytest.approx(8192 / 128)
+
+
+def test_page_counting_spans_boundaries():
+    profile = characterize(fixed_trace([ReadOp("/f", 4000, 200)]))
+    assert profile.distinct_pages == 2
+    assert profile.sub_page_fraction == 1.0
+
+
+def test_lru_curve_monotone_in_capacity():
+    trace = synthetic_trace(
+        SyntheticConfig(workload="E", distribution="zipfian", requests=3000, file_size=1 * MIB)
+    )
+    profile = characterize(trace)
+    ratios = [ratio for _, ratio in profile.lru_curve]
+    assert ratios == sorted(ratios)
+    # Infinite-capacity LRU hit ratio equals the exact reuse fraction.
+    assert ratios[-1] <= profile.reuse_fraction + 1e-9
+
+
+def test_zipfian_more_reuse_than_uniform():
+    base = dict(workload="E", requests=3000, file_size=1 * MIB)
+    uniform = characterize(synthetic_trace(SyntheticConfig(distribution="uniform", **base)))
+    zipfian = characterize(synthetic_trace(SyntheticConfig(distribution="zipfian", **base)))
+    assert zipfian.reuse_fraction > uniform.reuse_fraction
+
+
+def test_render_profile_mentions_key_stats():
+    trace = social_graph_trace(SocialGraphConfig(nodes=1024, operations=500))
+    report = render_profile(trace.name, characterize(trace))
+    assert "sub-page reads" in report
+    assert "amplification room" in report
+    assert "LRU hit-ratio curve" in report
+
+
+def test_empty_reads_safe():
+    profile = characterize(fixed_trace([WriteOp("/f", 0, 10)]))
+    assert profile.mean_read == 0.0
+    assert profile.reuse_fraction == 0.0
+    assert profile.amplification_headroom == 0.0

@@ -1,0 +1,67 @@
+"""Tests for trace interleaving."""
+
+import pytest
+
+from repro.config import MIB
+from repro.workloads.mix import interleave
+from repro.workloads.trace import FileSpec, ReadOp, Trace
+
+
+def fixed(name, path, count, size=64):
+    ops = [ReadOp(path, index * size, size) for index in range(count)]
+    return Trace(name=name, files=[FileSpec(path, 1 * MIB)], build_ops=lambda: ops)
+
+
+def test_preserves_all_ops():
+    mixed = interleave([fixed("a", "/a", 30), fixed("b", "/b", 10)])
+    ops = list(mixed.ops())
+    assert len(ops) == 40
+    assert sum(1 for op in ops if op.path == "/a") == 30
+    assert sum(1 for op in ops if op.path == "/b") == 10
+
+
+def test_proportional_interleaving():
+    mixed = interleave([fixed("a", "/a", 300), fixed("b", "/b", 100)])
+    ops = list(mixed.ops())
+    # In every quarter of the stream the 3:1 ratio holds approximately.
+    quarter = len(ops) // 4
+    for start in range(0, len(ops), quarter):
+        window = ops[start : start + quarter]
+        from_a = sum(1 for op in window if op.path == "/a")
+        assert 0.6 < from_a / len(window) < 0.9
+
+
+def test_per_trace_order_preserved():
+    mixed = interleave([fixed("a", "/a", 50), fixed("b", "/b", 50)])
+    offsets_a = [op.offset for op in mixed.ops() if op.path == "/a"]
+    assert offsets_a == sorted(offsets_a)
+
+
+def test_deterministic():
+    mixed = interleave([fixed("a", "/a", 20), fixed("b", "/b", 30)])
+    assert list(mixed.ops()) == list(mixed.ops())
+
+
+def test_file_union_deduplicated():
+    first = fixed("a", "/shared", 10)
+    second = fixed("b", "/shared", 10)
+    mixed = interleave([first, second])
+    assert len(mixed.files) == 1
+
+
+def test_conflicting_file_sizes_rejected():
+    first = Trace("a", [FileSpec("/f", 1 * MIB)], lambda: [])
+    second = Trace("b", [FileSpec("/f", 2 * MIB)], lambda: [])
+    with pytest.raises(ValueError):
+        interleave([first, second])
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        interleave([])
+
+
+def test_metadata_and_name():
+    mixed = interleave([fixed("a", "/a", 5), fixed("b", "/b", 5)], name="both")
+    assert mixed.name == "both"
+    assert mixed.metadata["ops_per_component"] == [5, 5]

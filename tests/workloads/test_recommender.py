@@ -1,0 +1,80 @@
+"""Tests for the recommender-system (embedding lookup) workload."""
+
+import pytest
+
+from repro.config import MIB
+from repro.workloads.recommender import RecommenderConfig, recommender_trace
+from repro.workloads.trace import ReadOp
+
+
+def make_config(**kwargs):
+    defaults = dict(tables=4, total_table_bytes=4 * MIB, inferences=200)
+    defaults.update(kwargs)
+    return RecommenderConfig(**defaults)
+
+
+def test_one_lookup_per_table_per_inference():
+    config = make_config()
+    trace = recommender_trace(config)
+    ops = list(trace.ops())
+    assert len(ops) == config.inferences * config.tables
+    paths = [op.path for op in ops[: config.tables]]
+    assert len(set(paths)) == config.tables
+
+
+def test_lookups_are_embedding_sized_and_aligned():
+    config = make_config()
+    for op in recommender_trace(config).ops():
+        assert isinstance(op, ReadOp)
+        assert op.size == config.embedding_bytes
+        assert op.offset % config.embedding_bytes == 0
+        assert op.offset + op.size <= config.table_bytes
+
+
+def test_files_cover_all_tables():
+    config = make_config()
+    trace = recommender_trace(config)
+    assert len(trace.files) == config.tables
+    assert all(spec.size == config.table_bytes for spec in trace.files)
+
+
+def test_deterministic():
+    config = make_config()
+    trace = recommender_trace(config)
+    assert list(trace.ops()) == list(trace.ops())
+
+
+def test_skewed_popularity():
+    config = make_config(inferences=2000)
+    trace = recommender_trace(config)
+    from collections import Counter
+
+    counts = Counter((op.path, op.offset) for op in trace.ops())
+    top = counts.most_common(1)[0][1]
+    assert top > 2000 * 0.01  # a hot embedding dominates its table
+
+
+def test_rows_per_table_math():
+    config = make_config()
+    assert config.rows_per_table == 4 * MIB // 4 // 128
+    assert config.lookups == 800
+
+
+def test_multi_hot_lookups():
+    config = make_config(lookups_per_table=4)
+    trace = recommender_trace(config)
+    ops = list(trace.ops())
+    assert len(ops) == config.inferences * config.tables * 4
+    # The first four ops hit the same table (four hot rows of feature 0).
+    first_table = ops[0].path
+    assert all(op.path == first_table for op in ops[:4])
+    assert ops[4].path != first_table
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_config(tables=0)
+    with pytest.raises(ValueError):
+        make_config(lookups_per_table=0)
+    with pytest.raises(ValueError):
+        RecommenderConfig(tables=3, total_table_bytes=1000, inferences=1)

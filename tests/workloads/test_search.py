@@ -1,0 +1,106 @@
+"""Tests for the search-engine (inverted index) workload extension."""
+
+import pytest
+
+from repro.workloads.search import (
+    DOCS_FILE,
+    INDEX_FILE,
+    SearchConfig,
+    build_index_layout,
+    search_trace,
+)
+from repro.workloads.trace import ReadOp
+
+
+def make_config(**kwargs):
+    defaults = dict(terms=2048, documents=1024, queries=500)
+    defaults.update(kwargs)
+    return SearchConfig(**defaults)
+
+
+def test_layout_offsets_monotone():
+    layout = build_index_layout(make_config())
+    assert (layout.posting_offsets[1:] > layout.posting_offsets[:-1]).all()
+    assert (layout.doc_offsets[1:] > layout.doc_offsets[:-1]).all()
+
+
+def test_posting_sizes_power_law():
+    config = make_config()
+    layout = build_index_layout(config)
+    sizes = [
+        layout.posting_list(term)[1] for term in range(config.terms)
+    ]
+    largest = max(sizes)
+    smallest = min(sizes)
+    assert largest == config.max_postings * config.posting_entry_bytes
+    assert smallest == config.posting_entry_bytes
+    # The long tail dominates: median list is tiny.
+    sizes.sort()
+    assert sizes[len(sizes) // 2] <= 4 * config.posting_entry_bytes
+
+
+def test_trace_ops_structure():
+    config = make_config()
+    trace = search_trace(config)
+    ops = list(trace.ops())
+    assert len(ops) == config.queries * (config.terms_per_query + 1)
+    assert all(isinstance(op, ReadOp) for op in ops)
+    per_query = config.terms_per_query + 1
+    first_query = ops[:per_query]
+    assert [op.path for op in first_query] == [INDEX_FILE] * 3 + [DOCS_FILE]
+
+
+def test_reads_within_declared_files():
+    trace = search_trace(make_config())
+    sizes = {spec.path: spec.size for spec in trace.files}
+    for op in trace.ops():
+        assert op.offset + op.size <= sizes[op.path]
+
+
+def test_reads_fine_grained_dominant():
+    trace = search_trace(make_config())
+    read_sizes = [op.size for op in trace.ops()]
+    small = sum(1 for size in read_sizes if size < 4096)
+    assert small / len(read_sizes) > 0.95
+
+
+def test_deterministic():
+    trace = search_trace(make_config())
+    assert list(trace.ops()) == list(trace.ops())
+
+
+def test_hot_terms_repeat():
+    trace = search_trace(make_config(queries=2000))
+    from collections import Counter
+
+    index_reads = Counter(
+        op.offset for op in trace.ops() if op.path == INDEX_FILE
+    )
+    assert index_reads.most_common(1)[0][1] > 2000 * 0.01
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_config(queries=0)
+    with pytest.raises(ValueError):
+        make_config(terms_per_query=0)
+
+
+def test_runs_through_systems():
+    """At tiny scale only the traffic claim is scale-independent: a
+    20 KiB index fits any page cache, so block I/O throughput wins; the
+    throughput comparison lives in the search-engine example/bench at a
+    corpus size that exceeds the shared memory budget."""
+    from repro.experiments.runner import run_comparison
+    from repro.experiments.scale import get_scale
+
+    config = get_scale("tiny").sim_config()
+    trace = search_trace(make_config(queries=200))
+    comparison = run_comparison(
+        trace, config, systems=["block-io", "pipette"], workload_label="search"
+    )
+    assert comparison.result("pipette").requests == 800
+    assert (
+        comparison.result("pipette").traffic_bytes
+        < comparison.result("block-io").traffic_bytes
+    )

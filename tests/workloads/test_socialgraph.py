@@ -1,0 +1,101 @@
+"""Tests for the LinkBench-style social-graph workload."""
+
+import pytest
+
+from repro.workloads.socialgraph import (
+    EDGE_FILE,
+    NODE_FILE,
+    OP_MIX,
+    SocialGraphConfig,
+    build_layout,
+    social_graph_trace,
+)
+from repro.workloads.trace import ReadOp, WriteOp
+
+
+def make_config(**kwargs):
+    defaults = dict(nodes=2048, operations=3000)
+    defaults.update(kwargs)
+    return SocialGraphConfig(**defaults)
+
+
+def test_op_mix_sums_to_one():
+    assert sum(probability for _, probability in OP_MIX) == pytest.approx(1.0)
+
+
+def test_layout_offsets_monotone_and_consistent():
+    layout = build_layout(make_config())
+    assert (layout.node_offsets[1:] > layout.node_offsets[:-1]).all()
+    assert (layout.edge_offsets[1:] > layout.edge_offsets[:-1]).all()
+    assert layout.degrees.min() >= 1
+    assert layout.total_edges == int(layout.degrees.sum())
+
+
+def test_node_payload_mean_close_to_paper():
+    # Paper Figure 1: average node payload 87.6 B.
+    layout = build_layout(make_config(nodes=20_000))
+    mean = layout.node_file_size / 20_000
+    assert 70 < mean < 110
+
+
+def test_edge_payload_mean_close_to_paper():
+    # Paper Figure 1: average edge payload 11.3 B.
+    layout = build_layout(make_config(nodes=20_000))
+    mean = layout.edge_file_size / layout.total_edges
+    assert 10.5 < mean < 12.5
+
+
+def test_records_resolve_within_files():
+    config = make_config()
+    layout = build_layout(config)
+    for node in (0, 1, config.nodes - 1):
+        offset, size = layout.node_record(node)
+        assert 0 <= offset and offset + size <= layout.node_file_size
+        offset, size = layout.edge_run(node)
+        assert 0 <= offset and offset + size <= layout.edge_file_size
+        offset, size = layout.edge_record(node, 0)
+        assert 0 <= offset and offset + size <= layout.edge_file_size
+
+
+def test_trace_ops_target_declared_files():
+    trace = social_graph_trace(make_config())
+    sizes = {spec.path: spec.size for spec in trace.files}
+    assert set(sizes) == {NODE_FILE, EDGE_FILE}
+    for op in trace.ops():
+        assert op.path in sizes
+        assert op.offset + op.size <= sizes[op.path]
+
+
+def test_trace_contains_reads_and_writes():
+    trace = social_graph_trace(make_config())
+    ops = list(trace.ops())
+    reads = sum(1 for op in ops if isinstance(op, ReadOp))
+    writes = sum(1 for op in ops if isinstance(op, WriteOp))
+    assert reads + writes == len(ops) == 3000
+    # LinkBench's mix is ~70% reads / ~30% updates.
+    assert 0.6 < reads / len(ops) < 0.8
+
+
+def test_reads_are_fine_grained():
+    trace = social_graph_trace(make_config())
+    read_sizes = [op.size for op in trace.ops() if isinstance(op, ReadOp)]
+    assert max(read_sizes) < 4096
+    assert min(read_sizes) >= 8
+
+
+def test_deterministic():
+    trace = social_graph_trace(make_config())
+    assert list(trace.ops()) == list(trace.ops())
+
+
+def test_write_payload_deterministic():
+    op = WriteOp("/f", 100, 8, seed=3)
+    assert op.payload() == op.payload()
+    assert len(op.payload()) == 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_config(nodes=0)
+    with pytest.raises(ValueError):
+        make_config(mean_out_degree=0)

@@ -1,0 +1,100 @@
+"""Tests for the Table 1 synthetic workload generator."""
+
+import pytest
+
+from repro.config import MIB
+from repro.workloads.synthetic import (
+    SYNTHETIC_MIXES,
+    SyntheticConfig,
+    size_sweep_trace,
+    synthetic_trace,
+)
+from repro.workloads.trace import ReadOp
+
+
+def test_table1_mixes_defined():
+    assert SYNTHETIC_MIXES == {
+        "A": (1.0, 0.0),
+        "B": (0.9, 0.1),
+        "C": (0.5, 0.5),
+        "D": (0.1, 0.9),
+        "E": (0.0, 1.0),
+    }
+
+
+def make_trace(**kwargs):
+    defaults = dict(workload="C", requests=4000, file_size=4 * MIB)
+    defaults.update(kwargs)
+    return synthetic_trace(SyntheticConfig(**defaults))
+
+
+def test_all_ops_are_reads_with_table1_sizes():
+    trace = make_trace()
+    sizes = {op.size for op in trace.ops()}
+    assert sizes == {128, 4096}
+    assert all(isinstance(op, ReadOp) for op in trace.ops())
+
+
+def test_mix_ratio_approximately_respected():
+    trace = make_trace(workload="D", requests=10_000)
+    large = sum(1 for op in trace.ops() if op.size == 4096)
+    assert 0.07 < large / 10_000 < 0.13
+
+
+def test_pure_workloads():
+    assert all(op.size == 4096 for op in make_trace(workload="A").ops())
+    assert all(op.size == 128 for op in make_trace(workload="E").ops())
+
+
+def test_offsets_aligned_and_in_range():
+    for distribution in ("uniform", "zipfian"):
+        trace = make_trace(distribution=distribution)
+        for op in trace.ops():
+            assert 0 <= op.offset
+            assert op.offset + op.size <= 4 * MIB
+            assert op.offset % op.size == 0
+
+
+def test_deterministic_re_iteration():
+    trace = make_trace(distribution="zipfian")
+    assert list(trace.ops()) == list(trace.ops())
+
+
+def test_zipfian_more_repeats_than_uniform():
+    uniform = make_trace(distribution="uniform", workload="E")
+    zipfian = make_trace(distribution="zipfian", workload="E")
+    uniform_distinct = len({op.offset for op in uniform.ops()})
+    zipf_distinct = len({op.offset for op in zipfian.ops()})
+    assert zipf_distinct < uniform_distinct
+
+
+def test_metadata_and_count():
+    trace = make_trace()
+    assert trace.count_ops() == 4000
+    assert trace.metadata["workload"] == "C"
+    assert trace.demanded_bytes() == sum(op.size for op in trace.ops())
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        SyntheticConfig(workload="Z")
+    with pytest.raises(ValueError):
+        SyntheticConfig(distribution="normal")
+    with pytest.raises(ValueError):
+        SyntheticConfig(file_size=4 * MIB + 1)
+    with pytest.raises(ValueError):
+        SyntheticConfig(small_size=0)
+
+
+def test_size_sweep_trace_fixed_size():
+    base = SyntheticConfig(workload="E", requests=500, file_size=4 * MIB)
+    trace = size_sweep_trace(base, 512)
+    ops = list(trace.ops())
+    assert len(ops) == 500
+    assert all(op.size == 512 and op.offset % 512 == 0 for op in ops)
+
+
+def test_size_sweep_rejects_nondividing_size():
+    base = SyntheticConfig(workload="E", requests=10, file_size=4 * MIB)
+    with pytest.raises(ValueError):
+        size_sweep_trace(base, 3000)

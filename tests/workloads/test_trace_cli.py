@@ -1,0 +1,84 @@
+"""Tests for the pipette-trace command-line tool."""
+
+import pytest
+
+from repro.workloads import cli
+from repro.workloads.traceio import load_trace
+
+
+def test_generate_synthetic(tmp_path, capsys):
+    out = tmp_path / "e.trace"
+    code = cli.main(
+        [
+            "generate",
+            "synthetic",
+            "-o",
+            str(out),
+            "--requests",
+            "500",
+            "--workload",
+            "E",
+            "--file-mib",
+            "4",
+        ]
+    )
+    assert code == 0
+    assert "wrote 500 ops" in capsys.readouterr().out
+    trace = load_trace(out)
+    assert trace.count_ops() == 500
+
+
+@pytest.mark.parametrize("kind", ["recommender", "socialgraph", "search", "ycsb"])
+def test_generate_other_kinds(tmp_path, kind, capsys):
+    out = tmp_path / f"{kind}.trace"
+    code = cli.main(
+        [
+            "generate",
+            kind,
+            "-o",
+            str(out),
+            "--requests",
+            "400",
+            "--queries",
+            "100",
+            "--nodes",
+            "1024",
+            "--file-mib",
+            "4",
+        ]
+    )
+    assert code == 0
+    assert load_trace(out).count_ops() > 0
+
+
+def test_info_command(tmp_path, capsys):
+    out = tmp_path / "e.trace"
+    cli.main(["generate", "synthetic", "-o", str(out), "--requests", "100", "--file-mib", "4"])
+    capsys.readouterr()
+    assert cli.main(["info", str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "ops  : 100" in output
+    assert "/data/synthetic.bin" in output
+
+
+def test_characterize_command(tmp_path, capsys):
+    out = tmp_path / "e.trace"
+    cli.main(["generate", "synthetic", "-o", str(out), "--requests", "100", "--file-mib", "4"])
+    capsys.readouterr()
+    assert cli.main(["characterize", str(out)]) == 0
+    assert "sub-page reads" in capsys.readouterr().out
+
+
+def test_replay_command(tmp_path, capsys):
+    out = tmp_path / "e.trace"
+    cli.main(["generate", "synthetic", "-o", str(out), "--requests", "200", "--file-mib", "4"])
+    capsys.readouterr()
+    assert cli.main(["replay", str(out), "--system", "pipette", "--scale", "tiny"]) == 0
+    output = capsys.readouterr().out
+    assert "requests          : 200" in output
+    assert "I/O traffic" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["frobnicate"])

@@ -1,0 +1,90 @@
+"""Tests for trace serialization round-trips."""
+
+import pytest
+
+from repro.config import MIB
+from repro.workloads.socialgraph import SocialGraphConfig, social_graph_trace
+from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
+from repro.workloads.trace import ReadOp, WriteOp
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def test_synthetic_roundtrip(tmp_path):
+    trace = synthetic_trace(
+        SyntheticConfig(workload="C", requests=500, file_size=1 * MIB)
+    )
+    path = tmp_path / "c.trace"
+    written = save_trace(trace, path)
+    assert written == 500
+    loaded = load_trace(path)
+    assert loaded.name == trace.name
+    assert loaded.files == trace.files
+    assert list(loaded.ops()) == list(trace.ops())
+    assert loaded.metadata["workload"] == "C"
+
+
+def test_social_graph_roundtrip_preserves_writes(tmp_path):
+    trace = social_graph_trace(SocialGraphConfig(nodes=512, operations=400))
+    path = tmp_path / "graph.trace"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    original = list(trace.ops())
+    replayed = list(loaded.ops())
+    assert replayed == original
+    writes = [op for op in replayed if isinstance(op, WriteOp)]
+    assert writes, "the graph trace must contain update ops"
+    # Write payloads regenerate identically (seed preserved).
+    assert writes[0].payload() == [
+        op for op in original if isinstance(op, WriteOp)
+    ][0].payload()
+
+
+def test_loaded_trace_is_re_iterable(tmp_path):
+    trace = synthetic_trace(SyntheticConfig(workload="E", requests=50, file_size=1 * MIB))
+    path = tmp_path / "e.trace"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert list(loaded.ops()) == list(loaded.ops())
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.trace"
+    path.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(ValueError, match="not a Pipette trace"):
+        load_trace(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    trace = synthetic_trace(SyntheticConfig(workload="E", requests=50, file_size=1 * MIB))
+    path = tmp_path / "e.trace"
+    save_trace(trace, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(EOFError):
+        list(load_trace(path).ops())
+
+
+def test_unsupported_version_rejected(tmp_path):
+    trace = synthetic_trace(SyntheticConfig(workload="E", requests=5, file_size=1 * MIB))
+    path = tmp_path / "e.trace"
+    save_trace(trace, path)
+    blob = bytearray(path.read_bytes())
+    blob[4] = 99  # bump version field
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_replay_through_a_system(tmp_path):
+    """A loaded trace drives a system exactly like the original."""
+    from repro.experiments.runner import run_trace_on
+    from repro.experiments.scale import get_scale
+
+    config = get_scale("tiny").sim_config()
+    trace = synthetic_trace(SyntheticConfig(workload="E", requests=300, file_size=1 * MIB))
+    path = tmp_path / "replay.trace"
+    save_trace(trace, path)
+    original = run_trace_on("pipette", trace, config)
+    replayed = run_trace_on("pipette", load_trace(path), config)
+    assert replayed.traffic_bytes == original.traffic_bytes
+    assert replayed.elapsed_ns == original.elapsed_ns

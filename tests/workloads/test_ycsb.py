@@ -1,0 +1,107 @@
+"""Tests for the YCSB-style workload generator."""
+
+import pytest
+
+from repro.workloads.trace import ReadOp, WriteOp
+from repro.workloads.ycsb import STORE_FILE, YCSB_MIXES, YcsbConfig, ycsb_trace
+
+
+def make_config(**kwargs):
+    defaults = dict(records=4096, record_bytes=256, operations=4000)
+    defaults.update(kwargs)
+    return YcsbConfig(**defaults)
+
+
+def fractions(trace):
+    reads = writes = 0
+    for op in trace.ops():
+        if isinstance(op, ReadOp):
+            reads += 1
+        else:
+            writes += 1
+    total = reads + writes
+    return reads / total, writes / total
+
+
+def test_mixes_defined_for_core_workloads():
+    assert set(YCSB_MIXES) == set("ABCDEF")
+    for mix in YCSB_MIXES.values():
+        assert sum(mix) == pytest.approx(1.0)
+
+
+def test_workload_c_read_only():
+    trace = ycsb_trace(make_config(workload="C"))
+    assert all(isinstance(op, ReadOp) for op in trace.ops())
+
+
+def test_workload_a_is_half_updates():
+    read_fraction, write_fraction = fractions(ycsb_trace(make_config(workload="A")))
+    assert 0.45 < write_fraction < 0.55
+
+
+def test_workload_b_mostly_reads():
+    read_fraction, _ = fractions(ycsb_trace(make_config(workload="B")))
+    assert read_fraction > 0.9
+
+
+def test_workload_f_rmw_pairs():
+    trace = ycsb_trace(make_config(workload="F"))
+    ops = list(trace.ops())
+    for index, op in enumerate(ops):
+        if isinstance(op, WriteOp):
+            previous = ops[index - 1]
+            assert isinstance(previous, ReadOp)
+            assert previous.offset == op.offset  # read-modify-write pair
+
+
+def test_workload_d_inserts_into_headroom():
+    config = make_config(workload="D", insert_headroom=512)
+    trace = ycsb_trace(config)
+    writes = [op for op in trace.ops() if isinstance(op, WriteOp)]
+    assert writes
+    base = config.records * config.record_bytes
+    assert all(op.offset >= base for op in writes)
+    # Inserted offsets are sequential.
+    offsets = [op.offset for op in writes]
+    assert offsets == sorted(offsets)
+
+
+def test_workload_e_scans_are_multi_record():
+    config = make_config(workload="E")
+    trace = ycsb_trace(config)
+    sizes = [op.size for op in trace.ops() if isinstance(op, ReadOp)]
+    assert max(sizes) > config.record_bytes
+    assert all(size % config.record_bytes == 0 for size in sizes)
+
+
+def test_all_ops_within_store(make=make_config):
+    for workload in YCSB_MIXES:
+        config = make(workload=workload)
+        trace = ycsb_trace(config)
+        for op in trace.ops():
+            assert op.path == STORE_FILE
+            assert 0 <= op.offset
+            assert op.offset + op.size <= config.store_bytes
+
+
+def test_deterministic():
+    trace = ycsb_trace(make_config(workload="A"))
+    assert list(trace.ops()) == list(trace.ops())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_config(workload="Z")
+    with pytest.raises(ValueError):
+        make_config(records=0)
+
+
+def test_runs_through_pipette():
+    from repro.experiments.runner import run_trace_on
+    from repro.experiments.scale import get_scale
+
+    config = get_scale("tiny").sim_config()
+    trace = ycsb_trace(make_config(workload="B", operations=500))
+    result = run_trace_on("pipette", trace, config)
+    assert result.requests > 0
+    assert result.cache_stats["fgrc_hit_ratio"] > 0.1  # zipf 0.99 reuse

@@ -1,0 +1,88 @@
+"""Tests for the rejection-inversion Zipf sampler."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.zipf import ScatteredZipf, ZipfSampler, rank_permutation_factor
+
+
+def test_samples_within_bounds():
+    sampler = ZipfSampler(100, 0.8, random.Random(1))
+    for _ in range(2000):
+        assert 0 <= sampler.sample() < 100
+
+
+def test_deterministic_given_seed():
+    a = ZipfSampler(1000, 0.8, random.Random(7))
+    b = ZipfSampler(1000, 0.8, random.Random(7))
+    assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+
+def test_rank_zero_most_popular():
+    sampler = ZipfSampler(1000, 1.0, random.Random(3))
+    counts = Counter(sampler.sample() for _ in range(20_000))
+    assert counts[0] == max(counts.values())
+
+
+def test_empirical_frequencies_match_zipf():
+    """Observed rank frequencies track 1/(k+1)^alpha within tolerance."""
+    alpha, n, draws = 0.8, 50, 60_000
+    sampler = ZipfSampler(n, alpha, random.Random(5))
+    counts = Counter(sampler.sample() for _ in range(draws))
+    weights = [(k + 1) ** -alpha for k in range(n)]
+    total = sum(weights)
+    for rank in (0, 1, 4, 9, 24):
+        expected = weights[rank] / total
+        observed = counts[rank] / draws
+        assert observed == pytest.approx(expected, rel=0.15)
+
+
+def test_heavier_alpha_more_skewed():
+    light = ZipfSampler(1000, 0.6, random.Random(2))
+    heavy = ZipfSampler(1000, 1.4, random.Random(2))
+    light_top = sum(1 for _ in range(5000) if light.sample() < 10)
+    heavy_top = sum(1 for _ in range(5000) if heavy.sample() < 10)
+    assert heavy_top > light_top
+
+
+def test_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, rng)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, 0.0, rng)
+
+
+def test_single_element_support():
+    sampler = ZipfSampler(1, 0.8, random.Random(0))
+    assert all(sampler.sample() == 0 for _ in range(100))
+
+
+@given(st.integers(1, 1_000_000))
+@settings(max_examples=50)
+def test_property_permutation_factor_coprime(n):
+    factor = rank_permutation_factor(n)
+    assert 1 <= factor < max(n, 2)
+    assert math.gcd(factor, n) == 1
+
+
+def test_scattered_zipf_permutes_but_preserves_skew():
+    scattered = ScatteredZipf(1000, 1.2, random.Random(9))
+    counts = Counter(scattered.sample() for _ in range(20_000))
+    top_slot, top_count = counts.most_common(1)[0]
+    # The hottest slot holds a large share but is (almost surely) not 0.
+    assert top_count > 20_000 * 0.05
+    assert all(0 <= slot < 1000 for slot in counts)
+
+
+@given(st.integers(1, 10_000), st.floats(0.5, 2.0))
+@settings(max_examples=30)
+def test_property_scattered_in_bounds(n, alpha):
+    scattered = ScatteredZipf(n, alpha, random.Random(1))
+    for _ in range(20):
+        assert 0 <= scattered.sample() < n

@@ -1,0 +1,33 @@
+"""Property tests of the rank-scattering permutation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.zipf import ScatteredZipf, rank_permutation_factor
+
+
+@given(st.integers(1, 5000))
+@settings(max_examples=80, deadline=None)
+def test_permutation_is_bijective(n):
+    """rank -> (rank * factor) % n is a bijection on [0, n)."""
+    factor = rank_permutation_factor(n)
+    image = {(rank * factor) % n for rank in range(n)}
+    assert image == set(range(n))
+
+
+@given(st.integers(64, 4096))
+@settings(max_examples=30, deadline=None)
+def test_hot_ranks_not_adjacent(n):
+    """The top ranks land far apart in slot space (for non-tiny n)."""
+    factor = rank_permutation_factor(n)
+    slots = [(rank * factor) % n for rank in range(4)]
+    gaps = [abs(b - a) for a, b in zip(slots, slots[1:])]
+    assert all(gap > 1 for gap in gaps)
+
+
+def test_scattered_deterministic_per_seed():
+    first = ScatteredZipf(1000, 1.0, random.Random(3))
+    second = ScatteredZipf(1000, 1.0, random.Random(3))
+    assert [first.sample() for _ in range(64)] == [second.sample() for _ in range(64)]
