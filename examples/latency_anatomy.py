@@ -3,7 +3,10 @@
 
 Issues one cold read and one warm read of every size on each system and
 prints the per-size latency matrix — a quick interactive version of the
-paper's Figure 8 with the cache effect made explicit.
+paper's Figure 8 with the cache effect made explicit — followed by the
+per-stage anatomy read straight off the recorded stage traces: for each
+system, the mean nanoseconds per stage name, whose sum equals the
+reported mean latency (same record, two projections).
 
 Run:  python examples/latency_anatomy.py
 """
@@ -12,15 +15,16 @@ from __future__ import annotations
 
 from repro import SimConfig, build_system
 from repro.analysis.metrics import SYSTEM_LABELS, SYSTEM_ORDER
-from repro.analysis.report import text_table
+from repro.analysis.report import stage_breakdown_table, text_table
 from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
+from repro.system import StorageSystem
 
 SIZES = [8, 64, 128, 512, 1024, 4096]
 FILE = "/data/probe.bin"
 
 
-def probe(system_name: str) -> tuple[list[float], list[float]]:
-    """(cold, warm) per-size latencies in us."""
+def probe(system_name: str) -> tuple[list[float], list[float], StorageSystem]:
+    """(cold, warm) per-size latencies in us, plus the probed system."""
     system = build_system(system_name, SimConfig())
     system.create_file(FILE, 1024 * 1024)
     fd = system.open(FILE, O_RDWR | O_FINE_GRAINED)
@@ -35,20 +39,32 @@ def probe(system_name: str) -> tuple[list[float], list[float]]:
         system.read(fd, offset, size)
         warm.append((system.latency.total_ns - before) / 1000)
         offset += 65536  # fresh pages for the next size
-    return cold, warm
+    return cold, warm, system
 
 
 def main() -> None:
     cold_rows = []
     warm_rows = []
+    breakdowns: dict[str, dict[str, float]] = {}
+    means_ns: dict[str, float] = {}
     for name in SYSTEM_ORDER:
-        cold, warm = probe(name)
+        cold, warm, system = probe(name)
         cold_rows.append([SYSTEM_LABELS[name]] + [f"{value:.1f}" for value in cold])
         warm_rows.append([SYSTEM_LABELS[name]] + [f"{value:.1f}" for value in warm])
+        breakdowns[name] = system.stage_breakdown()
+        means_ns[name] = system.latency.mean_ns()
     headers = ["System"] + [f"{size}B" for size in SIZES]
     print(text_table(headers, cold_rows, title="Cold read latency (us, simulated)"))
     print()
     print(text_table(headers, warm_rows, title="Repeat read latency (us, simulated)"))
+    print()
+    print(
+        stage_breakdown_table(
+            breakdowns,
+            title="Mean latency anatomy (us per stage; 'sum' equals the reported mean)",
+            means_ns=means_ns,
+        )
+    )
     print()
     print("Note the three signatures from the paper's Fig. 8: MMIO latency")
     print("grows with size (8 B non-posted loads); 2B-SSD DMA pays its")

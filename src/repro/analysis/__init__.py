@@ -4,6 +4,7 @@ from repro.analysis.metrics import ExperimentOutcome, WorkloadComparison
 from repro.analysis.report import (
     latency_table,
     normalized_throughput_table,
+    stage_breakdown_table,
     text_table,
     traffic_table,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "WorkloadComparison",
     "latency_table",
     "normalized_throughput_table",
+    "stage_breakdown_table",
     "text_table",
     "traffic_table",
 ]

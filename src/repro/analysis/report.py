@@ -81,6 +81,39 @@ def latency_table(
     return text_table(headers, rows, title=title)
 
 
+def stage_breakdown_table(
+    breakdowns: dict[str, dict[str, float]],
+    title: str,
+    means_ns: dict[str, float] | None = None,
+) -> str:
+    """Systems x stage-name matrix of mean critical-path time (us).
+
+    ``breakdowns`` maps system name -> ``StorageSystem.stage_breakdown()``
+    (mean ns per stage name).  Each row's stages sum to the system's
+    mean read latency; pass ``means_ns`` (system -> reported mean) to
+    append that as a check column next to the sum.
+    """
+    names: list[str] = []
+    for per_stage in breakdowns.values():
+        for name in per_stage:
+            if name not in names:
+                names.append(name)
+    headers = ["System"] + names + ["sum"]
+    if means_ns is not None:
+        headers.append("mean")
+    rows: list[list[object]] = []
+    for system, per_stage in breakdowns.items():
+        row: list[object] = [_label(system)]
+        row += [
+            f"{per_stage[name] / 1000:.2f}" if name in per_stage else "-" for name in names
+        ]
+        row.append(f"{sum(per_stage.values()) / 1000:.2f}")
+        if means_ns is not None:
+            row.append(f"{means_ns.get(system, 0.0) / 1000:.2f}")
+        rows.append(row)
+    return text_table(headers, rows, title=title)
+
+
 def cache_table(comparisons: Sequence[WorkloadComparison], title: str) -> str:
     """Paper Table 4: page cache vs FGRC hit ratio and memory usage."""
     headers = ["Workload", "System", "Hit Ratio (%)", "Memory Usage (MiB)"]
@@ -144,6 +177,7 @@ __all__ = [
     "latency_line_chart",
     "latency_table",
     "normalized_throughput_table",
+    "stage_breakdown_table",
     "text_table",
     "throughput_bar_chart",
     "traffic_table",

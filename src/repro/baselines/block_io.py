@@ -29,8 +29,9 @@ class BlockIOSystem(StorageSystem):
         )
         self.block_path = BlockReadPath(config, self.device, self.fs, self.page_cache)
 
-    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
-        return self.block_path.read(entry, offset, size)
+    def _read(self, entry: OpenFile, offset: int, size: int) -> bytes | None:
+        data, _ = self.block_path.read(entry, offset, size)
+        return data
 
     def _write(self, entry: OpenFile, offset: int, data: bytes) -> None:
         self.block_path.write(entry, offset, data)

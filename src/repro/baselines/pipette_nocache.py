@@ -29,13 +29,14 @@ class PipetteNoCacheSystem(StorageSystem):
         # HMB feature negotiation: persistent mapping, off the read path.
         self.device.enable_hmb()
 
-    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
+    def _read(self, entry: OpenFile, offset: int, size: int) -> bytes | None:
         timing = self.config.timing
         device = self.device
+        tracer = device.tracer
         inode = entry.inode
 
-        latency = float(timing.fine_stack_ns + timing.fine_miss_host_ns)
-        device.resources.host(timing.fine_stack_ns + timing.fine_miss_host_ns)
+        tracer.host("fine_stack", timing.fine_stack_ns)
+        tracer.host("fine_miss_host", timing.fine_miss_host_ns)
 
         ranges = self.fs.extract_ranges(inode, offset, size)
         chunks: list[bytes] = []
@@ -52,17 +53,15 @@ class PipetteNoCacheSystem(StorageSystem):
                 chunks.append(joined[piece.offset_in_page : piece.offset_in_page + piece.length])
         if nand_ns_each:
             rounds = math.ceil(len(nand_ns_each) / self.config.ssd.channels)
-            latency += rounds * max(nand_ns_each)
+            tracer.serial_nand("nand_array", rounds * max(nand_ns_each))
 
-        transfer = device.link.dma_to_host_ns(size)
-        device.resources.pcie(transfer)
-        latency += transfer + timing.completion_ns
-        device.resources.host(timing.completion_ns)
+        device.link.dma_to_host(tracer, size)
+        tracer.host("completion", timing.completion_ns)
 
         data = b"".join(chunks) if self.config.transfer_data else None
         if data is not None and len(data) != size:
             raise RuntimeError(f"byte path returned {len(data)} of {size} bytes")
-        return data, latency
+        return data
 
     def _write(self, entry: OpenFile, offset: int, data: bytes) -> None:
         direct_write(self.device, self.fs, entry.inode, offset, data)

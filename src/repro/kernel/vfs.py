@@ -97,11 +97,17 @@ class BlockReadPath:
 
     # --- helpers -----------------------------------------------------------
     def _writeback(self, ino: int, page_index: int, content: bytes | None) -> None:
-        """Flush one dirty page on eviction (called by the page cache)."""
+        """Flush one dirty page on eviction (called by the page cache).
+
+        Eviction can trigger in the middle of an unrelated request, so
+        the write is recorded detached: it occupies the link and the
+        channel but never extends the triggering request's latency.
+        """
         inode = self.fs.inode_by_number(ino)
         lba = self.fs.page_lba(inode, page_index)
         payload = content if content is not None else bytes(self.fs.page_size)
-        self.device.block_write([(lba, payload)])
+        with self.device.tracer.detached("writeback", ino=ino, page=page_index):
+            self.device.block_write([(lba, payload)])
 
     def _page_content(self, pages: dict[int, bytes | None], lba: int) -> bytes | None:
         return pages.get(lba)
@@ -117,63 +123,63 @@ class BlockReadPath:
         if offset < 0 or size <= 0 or offset + size > inode.size:
             raise ValueError(f"read [{offset}, {offset + size}) outside file of {inode.size}")
         timing = self.config.timing
-        device = self.device
+        tracer = self.device.tracer
         page_size = self.fs.page_size
         file_pages = -(-inode.size // page_size)
 
-        latency = float(timing.block_stack_ns)
-        device.resources.host(timing.block_stack_ns)
+        with tracer.span("block_path.read", size=size) as span:
+            tracer.host("block_stack", timing.block_stack_ns)
 
-        first_page = offset // page_size
-        last_page = (offset + size - 1) // page_size
+            first_page = offset // page_size
+            last_page = (offset + size - 1) // page_size
 
-        miss_pages: list[int] = []
-        resident: dict[int, bytes | None] = {}
-        for page_index in range(first_page, last_page + 1):
-            cached = self.page_cache.lookup(inode.ino, page_index)
-            if cached is None:
-                miss_pages.append(page_index)
-            else:
-                resident[page_index] = cached.content
-                latency += timing.page_cache_hit_ns
-                device.resources.host(timing.page_cache_hit_ns)
+            miss_pages: list[int] = []
+            resident: dict[int, bytes | None] = {}
+            for page_index in range(first_page, last_page + 1):
+                cached = self.page_cache.lookup(inode.ino, page_index)
+                if cached is None:
+                    miss_pages.append(page_index)
+                else:
+                    resident[page_index] = cached.content
+                    tracer.host("page_cache_hit", timing.page_cache_hit_ns)
 
-        # Read-ahead window (based on the first missing page's pattern).
-        readahead_pages: list[int] = []
-        for page_index in range(first_page, last_page + 1):
-            was_miss = page_index in miss_pages
-            extra = entry.readahead.on_access(
-                page_index, was_miss=was_miss, file_pages=file_pages
-            )
-            for candidate in extra:
-                if candidate <= last_page:
-                    continue
-                if self.page_cache.peek(inode.ino, candidate) is not None:
-                    continue
-                readahead_pages.append(candidate)
+            # Read-ahead window (based on the first missing page's pattern).
+            readahead_pages: list[int] = []
+            for page_index in range(first_page, last_page + 1):
+                was_miss = page_index in miss_pages
+                extra = entry.readahead.on_access(
+                    page_index, was_miss=was_miss, file_pages=file_pages
+                )
+                for candidate in extra:
+                    if candidate <= last_page:
+                        continue
+                    if self.page_cache.peek(inode.ino, candidate) is not None:
+                        continue
+                    readahead_pages.append(candidate)
 
-        if miss_pages:
-            latency += timing.block_layer_ns
-            device.resources.host(timing.block_layer_ns)
-            lba_of = {page: self.fs.page_lba(inode, page) for page in miss_pages}
-            background = [self.fs.page_lba(inode, page) for page in readahead_pages]
-            requests = self.block_layer.build_requests(list(lba_of.values()))
-            pages, device_ns = self.driver.read_pages(requests, background_lbas=background)
-            latency += device_ns
-            for page_index, lba in lba_of.items():
-                content = self._page_content(pages, lba)
-                self.page_cache.insert(inode.ino, page_index, content)
-                resident[page_index] = content
-            for page_index in readahead_pages:
-                lba = self.fs.page_lba(inode, page_index)
-                self.page_cache.insert(inode.ino, page_index, self._page_content(pages, lba))
+            if miss_pages:
+                tracer.host("block_layer", timing.block_layer_ns)
+                lba_of = {page: self.fs.page_lba(inode, page) for page in miss_pages}
+                background = [self.fs.page_lba(inode, page) for page in readahead_pages]
+                requests = self.block_layer.build_requests(list(lba_of.values()))
+                # The device records its own nested span under ours.
+                pages, _device_ns = self.driver.read_pages(
+                    requests, background_lbas=background
+                )
+                for page_index, lba in lba_of.items():
+                    content = self._page_content(pages, lba)
+                    self.page_cache.insert(inode.ino, page_index, content)
+                    resident[page_index] = content
+                for page_index in readahead_pages:
+                    lba = self.fs.page_lba(inode, page_index)
+                    self.page_cache.insert(
+                        inode.ino, page_index, self._page_content(pages, lba)
+                    )
 
-        copy_ns = timing.dram_copy_ns(size)
-        latency += copy_ns
-        device.resources.host(copy_ns)
+            tracer.host("dram_copy", timing.dram_copy_ns(size))
 
         if not self.config.transfer_data:
-            return None, latency
+            return None, span.latency_ns()
         chunks: list[bytes] = []
         position = offset
         end = offset + size
@@ -186,7 +192,7 @@ class BlockReadPath:
                 raise RuntimeError(f"page {page_index} missing after read")
             chunks.append(content[in_page : in_page + take])
             position += take
-        return b"".join(chunks), latency
+        return b"".join(chunks), span.latency_ns()
 
     # --- write ------------------------------------------------------------
     def write(self, entry: OpenFile, offset: int, data: bytes) -> float:
@@ -200,59 +206,57 @@ class BlockReadPath:
         if offset + size > inode.size:
             self.fs.truncate(inode, offset + size)
         timing = self.config.timing
+        tracer = self.device.tracer
         page_size = self.fs.page_size
-        latency = float(timing.block_stack_ns)
-        self.device.resources.host(timing.block_stack_ns)
+        with tracer.span("block_path.write", size=size) as span:
+            tracer.host("block_stack", timing.block_stack_ns)
 
-        position = offset
-        end = offset + size
-        data_cursor = 0
-        while position < end:
-            page_index = position // page_size
-            in_page = position % page_size
-            take = min(end - position, page_size - in_page)
-            cached = self.page_cache.lookup(inode.ino, page_index)
-            if cached is None:
-                # Read-modify-write: partial page updates must fetch the
-                # page first; full-page overwrites can skip the read.
-                if take == page_size:
-                    content = b"\x00" * page_size if self.config.transfer_data else None
-                else:
-                    lba = self.fs.page_lba(inode, page_index)
-                    result = self.device.block_read([lba])
-                    latency += result.latency_ns
-                    content = result.pages.get(lba)
-                self.page_cache.insert(inode.ino, page_index, content)
-                cached = self.page_cache.peek(inode.ino, page_index)
-                assert cached is not None
-            if self.config.transfer_data and cached.content is not None:
-                mutable = bytearray(cached.content)
-                mutable[in_page : in_page + take] = data[data_cursor : data_cursor + take]
-                cached.content = bytes(mutable)
-            cached.dirty = True
-            position += take
-            data_cursor += take
+            position = offset
+            end = offset + size
+            data_cursor = 0
+            while position < end:
+                page_index = position // page_size
+                in_page = position % page_size
+                take = min(end - position, page_size - in_page)
+                cached = self.page_cache.lookup(inode.ino, page_index)
+                if cached is None:
+                    # Read-modify-write: partial page updates must fetch the
+                    # page first; full-page overwrites can skip the read.
+                    if take == page_size:
+                        content = b"\x00" * page_size if self.config.transfer_data else None
+                    else:
+                        lba = self.fs.page_lba(inode, page_index)
+                        result = self.device.block_read([lba])  # nested span
+                        content = result.pages.get(lba)
+                    self.page_cache.insert(inode.ino, page_index, content)
+                    cached = self.page_cache.peek(inode.ino, page_index)
+                    assert cached is not None
+                if self.config.transfer_data and cached.content is not None:
+                    mutable = bytearray(cached.content)
+                    mutable[in_page : in_page + take] = data[data_cursor : data_cursor + take]
+                    cached.content = bytes(mutable)
+                cached.dirty = True
+                position += take
+                data_cursor += take
 
-        copy_ns = timing.dram_copy_ns(size)
-        latency += copy_ns
-        self.device.resources.host(copy_ns)
-        return latency
+            tracer.host("dram_copy", timing.dram_copy_ns(size))
+        return span.latency_ns()
 
     def fsync(self, entry: OpenFile) -> float:
         """Flush every dirty page of the file; returns latency."""
         inode = entry.inode
-        latency = 0.0
         writes: list[tuple[int, bytes]] = []
         page_size = self.fs.page_size
-        for ino, page_index in self.page_cache.dirty_pages(inode.ino):
-            cached = self.page_cache.peek(ino, page_index)
-            assert cached is not None
-            payload = cached.content if cached.content is not None else bytes(page_size)
-            writes.append((self.fs.page_lba(inode, page_index), payload))
-            self.page_cache.clean(ino, page_index)
-        if writes:
-            latency += self.driver.write_pages(writes)
-        return latency
+        with self.device.tracer.span("block_path.fsync") as span:
+            for ino, page_index in self.page_cache.dirty_pages(inode.ino):
+                cached = self.page_cache.peek(ino, page_index)
+                assert cached is not None
+                payload = cached.content if cached.content is not None else bytes(page_size)
+                writes.append((self.fs.page_lba(inode, page_index), payload))
+                self.page_cache.clean(ino, page_index)
+            if writes:
+                self.driver.write_pages(writes)  # nested device span
+        return span.latency_ns()
 
 
 __all__ = [

@@ -1,9 +1,10 @@
-"""Virtual-time simulation primitives: clock, resources, statistics."""
+"""Virtual-time simulation primitives: clock, resources, traces, stats."""
 
 from repro.sim.clock import VirtualClock
 from repro.sim.latency import LatencyRecorder, LatencyStats
 from repro.sim.resources import ResourceModel
 from repro.sim.stats import Counter, HitMissCounter, TrafficMeter
+from repro.sim.trace import Stage, StageTrace, Tracer
 
 __all__ = [
     "Counter",
@@ -11,6 +12,9 @@ __all__ = [
     "LatencyRecorder",
     "LatencyStats",
     "ResourceModel",
+    "Stage",
+    "StageTrace",
     "TrafficMeter",
+    "Tracer",
     "VirtualClock",
 ]

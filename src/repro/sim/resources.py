@@ -7,13 +7,14 @@ of the paper's throughput figures) total run time is governed by the
 busiest resource, while queue-depth-1 latency (the paper's Figure 8) is
 the *sum* of the serial components of one request.
 
-:class:`ResourceModel` accumulates both views from a single simulation
-pass:
-
-- ``busy_*`` accumulators feed :meth:`bottleneck_time_ns`, the pipelined
-  completion time used for throughput;
-- callers separately sum their per-request component latencies for the
-  QD-1 latency view (see :class:`repro.sim.latency.LatencyRecorder`).
+:class:`ResourceModel` is the ledger of the throughput view: the
+``busy_*`` accumulators feed :meth:`bottleneck_time_ns`, the pipelined
+completion time.  Since the stage-trace refactor, layers do not charge
+the ledger directly — they record :class:`repro.sim.trace.Stage`
+entries, and the :class:`repro.sim.trace.Tracer` folds every charged
+stage into this ledger at one choke point, so busy totals are a
+derived view of the per-request traces (the QD-1 latency view is
+another: see :meth:`repro.sim.trace.StageTrace.latency_ns`).
 """
 
 from __future__ import annotations
@@ -54,8 +55,16 @@ class ResourceModel:
         return ns
 
     def channel(self, channel_index: int, ns: float) -> float:
-        """Charge NAND time on a specific flash channel."""
-        self.channel_busy_ns[channel_index % self.channels] += ns
+        """Charge NAND time on a specific flash channel.
+
+        The index must be in ``[0, channels)``; silently wrapping
+        out-of-range indices used to hide attribution bugs.
+        """
+        if not 0 <= channel_index < self.channels:
+            raise ValueError(
+                f"channel index {channel_index} out of range [0, {self.channels})"
+            )
+        self.channel_busy_ns[channel_index] += ns
         return ns
 
     def any_channel(self, ns: float) -> float:

@@ -19,6 +19,7 @@ from typing import Callable, Protocol
 
 from repro.config import SimConfig
 from repro.sim.resources import ResourceModel
+from repro.sim.trace import Tracer
 from repro.ssd.ftl import FlashTranslationLayer
 from repro.ssd.nand import FlashArray
 from repro.ssd.nvme import NvmeCommand, NvmeCompletion, NvmeOpcode
@@ -44,6 +45,9 @@ class SSDController:
     nand: FlashArray
     ftl: FlashTranslationLayer
     resources: ResourceModel
+    #: Shared stage tracer; channel occupancy is recorded here (and
+    #: folded into ``resources``) instead of charged directly.
+    tracer: Tracer | None = None
     read_buffer: list[ReadBufferSlot] = field(default_factory=list)
     _extensions: dict[NvmeOpcode, FirmwareExtension] = field(default_factory=dict)
     pages_sensed: int = 0
@@ -52,6 +56,10 @@ class SSDController:
     read_retries: int = 0
     #: Optional hook invoked after each page sense (diagnostics).
     on_sense: Callable[[int], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.tracer is None:
+            self.tracer = Tracer(self.resources)
 
     # --- primitives -----------------------------------------------------
     def sense_page(self, lba: int, *, with_data: bool | None = None) -> tuple[bytes | None, float]:
@@ -68,7 +76,7 @@ class SSDController:
                 if slot.lba == lba:
                     # Buffer hit: only the channel bus transfer, no tR.
                     bus_ns = self.config.timing.channel_xfer_page_ns
-                    self.resources.channel(self.nand.channel_of(ppn), bus_ns)
+                    self.tracer.channel(self.nand.channel_of(ppn), "nand_bus", bus_ns)
                     self.read_buffer_hits += 1
                     return slot.content, float(bus_ns)
         attempts = 1
@@ -81,7 +89,7 @@ class SSDController:
             attempts * self.nand.read_latency_ns()
             + self.config.timing.channel_xfer_page_ns
         )
-        self.resources.channel(self.nand.channel_of(ppn), nand_ns)
+        self.tracer.channel(self.nand.channel_of(ppn), "tR", nand_ns)
         self._buffer_insert(lba, content)
         self.pages_sensed += 1
         if self.on_sense is not None:
@@ -104,7 +112,7 @@ class SSDController:
         ppn_after = self.ftl.translate(lba)
         assert ppn_after != ppn_before or self.nand.spec.pages_per_block == 1
         nand_ns = self.nand.program_latency_ns() + self.config.timing.channel_xfer_page_ns
-        self.resources.channel(self.nand.channel_of(ppn_after), nand_ns)
+        self.tracer.channel(self.nand.channel_of(ppn_after), "program", nand_ns)
         self._buffer_invalidate(lba)
         return nand_ns
 
@@ -141,7 +149,9 @@ class SSDController:
         for lba in range(command.lba, command.lba + command.nlb):
             content, nand_ns = self.sense_page(lba)
             penalty = self.block_page_extra_ns()
-            self.resources.channel(self.nand.channel_of(self.ftl.translate(lba)), penalty)
+            self.tracer.channel(
+                self.nand.channel_of(self.ftl.translate(lba)), "block_penalty", penalty
+            )
             pages.append(content)
             nand_ns_each.append(nand_ns + penalty)
         return NvmeCompletion(cid=command.cid, result=(pages, nand_ns_each))

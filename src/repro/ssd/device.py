@@ -10,9 +10,13 @@ offers the three read paths the paper compares:
 - ``FINE_GRAINED_READ`` NVMe commands handled by the installed Read
   Engine (see :mod:`repro.core.engine`) for Pipette's byte path.
 
-Timing contract: device methods charge the :class:`ResourceModel`
-(pipelined throughput view) and return the queue-depth-1 latency of the
-operation; callers add their host-side costs on top.
+Timing contract: device methods record :class:`repro.sim.trace.Stage`
+entries into the active request's :class:`StageTrace` (opening a child
+span per operation), which simultaneously feeds the pipelined
+throughput ledger and the queue-depth-1 latency view; host layers
+record their own stages on top.  The ``latency_ns`` values some
+methods still return are conveniences derived from the op's span (for
+tests and diagnostics), not inputs anyone needs to sum.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from dataclasses import dataclass
 from repro.config import SimConfig
 from repro.sim.resources import ResourceModel
 from repro.sim.stats import TrafficMeter
+from repro.sim.trace import StageTrace, Tracer
 from repro.ssd.admin import FEATURE_HMB, AdminState
 from repro.ssd.cmb import ControllerMemoryBuffer
 from repro.ssd.controller import SSDController
@@ -37,10 +42,16 @@ from repro.ssd.pcie import PcieLink
 
 @dataclass
 class DeviceOpResult:
-    """Data plus queue-depth-1 latency of one device operation."""
+    """Data plus the stage span recorded for one device operation.
+
+    ``latency_ns`` is derived from the span — the op's serial QD-1
+    critical path — kept as a field for compatibility with direct
+    device-level use; request paths read latency off the trace instead.
+    """
 
     latency_ns: float
     pages: dict[int, bytes | None]
+    span: StageTrace | None = None
 
 
 def _contiguous_runs(lbas: list[int]) -> list[tuple[int, int]]:
@@ -70,6 +81,10 @@ class SSDDevice:
             channels=config.ssd.channels,
             host_parallelism=config.timing.host_parallelism,
         )
+        #: Shared stage tracer: every layer of the stack records into
+        #: the active request's trace through this object, and charged
+        #: stages fold into ``resources`` as they are recorded.
+        self.tracer = Tracer(self.resources)
         self.nand = FlashArray.create(config.ssd, config.timing)
         self.ftl = FlashTranslationLayer(nand=self.nand)
         self.link = PcieLink(timing=config.timing)
@@ -81,7 +96,11 @@ class SSDDevice:
         )
         self.hmb = HostMemoryBuffer(size=config.ssd.mapping_region_bytes)
         self.controller = SSDController(
-            config=config, nand=self.nand, ftl=self.ftl, resources=self.resources
+            config=config,
+            nand=self.nand,
+            ftl=self.ftl,
+            resources=self.resources,
+            tracer=self.tracer,
         )
         self.queue = NvmeQueuePair(executor=self.controller.execute)
         self.admin = AdminState(spec=config.ssd)
@@ -101,7 +120,7 @@ class SSDDevice:
             FEATURE_HMB,
             grant_bytes if grant_bytes is not None else identity.hmb_preferred_bytes,
         )
-        return self.dma.establish_persistent_mapping()
+        return self.dma.establish_persistent_mapping(self.tracer)
 
     # --- traffic -----------------------------------------------------------
     @property
@@ -126,37 +145,43 @@ class SSDDevice:
         timing = self.config.timing
         pages: dict[int, bytes | None] = {}
 
-        per_page_ns: list[float] = []
-        for start, count in _contiguous_runs(lbas):
-            completion = self.queue.submit(
-                NvmeCommand(opcode=NvmeOpcode.READ, lba=start, nlb=count)
-            )
-            if not completion.success:
-                raise RuntimeError(f"READ of [{start}, {start + count}) failed")
-            run_pages, nand_ns_each = completion.result
-            for index, lba in enumerate(range(start, start + count)):
-                pages[lba] = run_pages[index]
-                per_page_ns.append(nand_ns_each[index])
+        with self.tracer.span("device.block_read", pages=len(lbas)) as span:
+            per_page_ns: list[float] = []
+            for start, count in _contiguous_runs(lbas):
+                completion = self.queue.submit(
+                    NvmeCommand(opcode=NvmeOpcode.READ, lba=start, nlb=count)
+                )
+                if not completion.success:
+                    raise RuntimeError(f"READ of [{start}, {start + count}) failed")
+                run_pages, nand_ns_each = completion.result
+                for index, lba in enumerate(range(start, start + count)):
+                    pages[lba] = run_pages[index]
+                    per_page_ns.append(nand_ns_each[index])
 
-        # QD-1 latency: pages on distinct channels overlap, so the array
-        # phase takes ceil(n/channels) serial page times.
-        latency = 0.0
-        if per_page_ns:
-            rounds = math.ceil(len(per_page_ns) / self.config.ssd.channels)
-            latency += rounds * max(per_page_ns)
-            transfer = self.link.dma_to_host_ns(page_size * len(per_page_ns))
-            self.resources.pcie(transfer)
-            latency += transfer
-            latency += timing.completion_ns
+            if per_page_ns:
+                # QD-1 latency: pages on distinct channels overlap, so the
+                # array phase takes ceil(n/channels) serial page times —
+                # a derived stage on top of the per-page channel charges
+                # the controller already recorded.
+                rounds = math.ceil(len(per_page_ns) / self.config.ssd.channels)
+                self.tracer.serial_nand("nand_array", rounds * max(per_page_ns))
+                self.link.dma_to_host(self.tracer, page_size * len(per_page_ns))
+                # Interrupt/completion handling extends QD-1 latency but
+                # overlaps other requests' work under pipelining.
+                self.tracer.host("completion", timing.completion_ns, charged=False)
 
-        for lba in background_lbas or []:
-            content, _ = self.controller.sense_page(lba)
-            penalty = self.controller.block_page_extra_ns()
-            self.resources.channel(self.nand.channel_of(self.ftl.translate(lba)), penalty)
-            pages[lba] = content
-            self.resources.pcie(self.link.dma_to_host_ns(page_size))
+            for lba in background_lbas or []:
+                content, _ = self.controller.sense_page(lba)
+                penalty = self.controller.block_page_extra_ns()
+                self.tracer.channel(
+                    self.nand.channel_of(self.ftl.translate(lba)), "block_penalty", penalty
+                )
+                pages[lba] = content
+                self.link.dma_to_host(
+                    self.tracer, page_size, name="readahead_xfer", latency=False
+                )
 
-        return DeviceOpResult(latency_ns=latency, pages=pages)
+        return DeviceOpResult(latency_ns=span.latency_ns(), pages=pages, span=span)
 
     # --- write path ---------------------------------------------------------
     def block_write(self, writes: list[tuple[int, bytes]]) -> float:
@@ -168,17 +193,17 @@ class SSDDevice:
         (it still occupies the flash channel in the throughput model).
         """
         page_size = self.config.ssd.page_size
-        latency = 0.0
-        for lba, data in writes:
-            if len(data) != page_size:
-                raise ValueError("block_write requires full pages")
-            transfer = self.link.dma_to_device_ns(page_size)
-            self.resources.pcie(transfer)
-            self.controller.program_page(lba, data)  # charges the channel
-            latency += transfer
-        if writes:
-            latency += self.config.timing.completion_ns
-        return latency
+        with self.tracer.span("device.block_write", pages=len(writes)) as span:
+            for lba, data in writes:
+                if len(data) != page_size:
+                    raise ValueError("block_write requires full pages")
+                self.link.dma_to_device(self.tracer, page_size)
+                self.controller.program_page(lba, data)  # channel stage, off latency
+            if writes:
+                self.tracer.host(
+                    "completion", self.config.timing.completion_ns, charged=False
+                )
+        return span.latency_ns()
 
     # --- 2B-SSD style byte access ---------------------------------------------
     def stage_for_byte_access(self, lba: int) -> tuple[int, bytes | None, float]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import TimingModel
+from repro.sim.trace import Tracer
 from repro.ssd.pcie import PcieLink
 
 
@@ -20,6 +21,17 @@ class MmioWindow:
     timing: TimingModel
     link: PcieLink
     faults_taken: int = 0
+
+    def pull(self, tracer: Tracer, nbytes: int) -> None:
+        """Read ``nbytes`` out of the window, recording its stages.
+
+        The page fault and the non-posted load stalls are host work on
+        the critical path; the payload occupies the link but is covered
+        by the stall time, so its PCIe stage is off the latency path.
+        """
+        tracer.host("mmio_fault", self.fault_ns())
+        tracer.host("mmio_pull", self.read_ns(nbytes))
+        tracer.pcie("pcie_xfer", self.timing.pcie_transfer_ns(nbytes), latency=False)
 
     def fault_ns(self) -> float:
         """Page-fault cost to (re)map the window before an access."""

@@ -3,6 +3,12 @@
 Every byte that crosses the host/device boundary is recorded here; the
 paper's "I/O traffic" tables (Tables 2 and 3, Figure 9b) are read
 directly off this meter.
+
+Link transfers that belong to a storage request are recorded as
+``"pcie"`` stages in the active :class:`repro.sim.trace.StageTrace`
+via the tracer-aware :meth:`PcieLink.dma_to_host` /
+:meth:`PcieLink.dma_to_device`; the ``*_ns`` methods remain as pure
+cost/metering primitives.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.config import TimingModel
 from repro.sim.stats import TrafficMeter
+from repro.sim.trace import Tracer
 
 
 @dataclass
@@ -20,6 +27,41 @@ class PcieLink:
     timing: TimingModel
     traffic: TrafficMeter = field(default_factory=TrafficMeter)
 
+    # --- traced transfers (record into the active request) -------------
+    def dma_to_host(
+        self,
+        tracer: Tracer,
+        nbytes: int,
+        *,
+        name: str = "pcie_xfer",
+        latency: bool = True,
+    ) -> float:
+        """Device-to-host DMA recorded as a stage of the active trace.
+
+        ``latency=False`` marks transfers that occupy the link but are
+        off the request's QD-1 critical path (read-ahead, MMIO payload
+        under CPU-stall accounting).
+        """
+        ns = self.dma_to_host_ns(nbytes)
+        if ns:
+            tracer.pcie(name, ns, latency=latency)
+        return ns
+
+    def dma_to_device(
+        self,
+        tracer: Tracer,
+        nbytes: int,
+        *,
+        name: str = "pcie_xfer",
+        latency: bool = True,
+    ) -> float:
+        """Host-to-device DMA recorded as a stage of the active trace."""
+        ns = self.dma_to_device_ns(nbytes)
+        if ns:
+            tracer.pcie(name, ns, latency=latency)
+        return ns
+
+    # --- cost/metering primitives --------------------------------------
     def dma_to_host_ns(self, nbytes: int) -> float:
         """Device-to-host DMA: meter traffic, return transfer time."""
         if nbytes < 0:

@@ -11,9 +11,17 @@ the paper compares:
 ``2b-ssd-dma``            byte access via CMB + per-access DMA mapping
 ``pipette-nocache``       Pipette byte path, fine-grained cache disabled
 ``pipette``               the full Pipette framework
+``pipette-cmb``           Pipette variant staging through the CMB
+``pipette-rw``            Pipette plus the fine-grained write buffer
 ========================  =============================================
 
 Use :func:`build_system` to construct one by name.
+
+Every request runs inside a root :class:`repro.sim.trace.StageTrace`
+opened by this facade; the layers below record stages into it, and the
+QD-1 latency, the per-request queueing demand, and the per-stage
+anatomy are all read off the finished trace (charging folds into the
+:class:`~repro.sim.resources.ResourceModel` as stages are recorded).
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from repro.config import SimConfig
 from repro.kernel.fs.ext4 import ExtentFileSystem
 from repro.kernel.vfs import O_RDONLY, FileTable, OpenFile
 from repro.sim.latency import LatencyRecorder, LatencyStats
+from repro.sim.queueing import RequestDemand
 from repro.ssd.device import SSDDevice
 
 
@@ -41,6 +50,9 @@ class SystemResult:
     latency: LatencyStats
     bottleneck: str
     cache_stats: dict[str, float] = field(default_factory=dict)
+    #: Mean critical-path nanoseconds per stage name across all reads
+    #: (sums to ``mean_latency_ns``) — the anatomy view of the traces.
+    stage_breakdown: dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput_ops(self) -> float:
@@ -77,11 +89,19 @@ class StorageSystem(abc.ABC):
     def __init__(self, config: SimConfig) -> None:
         self.config = config
         self.device = SSDDevice(config)
+        #: The device's shared tracer; the facade opens one root trace
+        #: per request, every layer below records into it.
+        self.tracer = self.device.tracer
         self.fs = ExtentFileSystem(
             total_pages=config.ssd.total_pages, page_size=config.ssd.page_size
         )
         self.files = FileTable(config)
         self.latency = LatencyRecorder()
+        #: Per-read queueing demand projected from each finished trace
+        #: (consumed by experiments/qd_sweep's event-level simulator).
+        self.demands: list[RequestDemand] = []
+        #: Summed critical-path ns per stage name across all reads.
+        self._stage_latency: dict[str, float] = {}
         self.reads = 0
         self.writes = 0
 
@@ -106,11 +126,23 @@ class StorageSystem(abc.ABC):
 
     # --- I/O -----------------------------------------------------------------
     def read(self, fd: int, offset: int, size: int) -> bytes | None:
-        """POSIX-style positional read with full metering."""
+        """POSIX-style positional read with full metering.
+
+        Opens the request's root :class:`StageTrace`; latency, the
+        queueing demand, and the stage anatomy are derived views of
+        the record once ``_read`` returns.
+        """
         entry = self.files.get(fd)
-        data, latency_ns = self._read(entry, offset, size)
+        self.tracer.begin("read", size=size)
+        try:
+            data = self._read(entry, offset, size)
+        finally:
+            trace = self.tracer.end()
         self.device.traffic.demand(size)
-        self.latency.record(latency_ns, key=size)
+        self.latency.record(trace.latency_ns(), key=size)
+        self.demands.append(trace.demand())
+        for name, ns in trace.latency_by_name().items():
+            self._stage_latency[name] = self._stage_latency.get(name, 0.0) + ns
         self.reads += 1
         return data
 
@@ -123,23 +155,33 @@ class StorageSystem(abc.ABC):
         """
         entry = self.files.get(fd)
         self.device.traffic.write_context = True
+        self.tracer.begin("write", size=len(data))
         try:
             self._write(entry, offset, data)
         finally:
+            self.tracer.end()
             self.device.traffic.write_context = False
         self.writes += 1
 
     def fsync(self, fd: int) -> None:
         entry = self.files.get(fd)
-        self._fsync(entry)
+        self.tracer.begin("fsync")
+        try:
+            self._fsync(entry)
+        finally:
+            self.tracer.end()
 
     # --- subclass hooks --------------------------------------------------------
     def _on_open(self, entry: OpenFile) -> None:
         """Hook for per-file framework state (Pipette's lookup tables)."""
 
     @abc.abstractmethod
-    def _read(self, entry: OpenFile, offset: int, size: int) -> tuple[bytes | None, float]:
-        """Service one read; returns (data or None, latency_ns)."""
+    def _read(self, entry: OpenFile, offset: int, size: int) -> bytes | None:
+        """Service one read, recording stages into the active trace.
+
+        Returns the data (or None in accounting-only mode); timing is
+        *not* returned — it lives in the request's StageTrace.
+        """
 
     @abc.abstractmethod
     def _write(self, entry: OpenFile, offset: int, data: bytes) -> None:
@@ -152,6 +194,16 @@ class StorageSystem(abc.ABC):
     def cache_stats(self) -> dict[str, float]:
         """Hit ratios / memory usage for the paper's Table 4 (override)."""
         return {}
+
+    def stage_breakdown(self) -> dict[str, float]:
+        """Mean critical-path ns per stage name across all reads.
+
+        The values sum to ``latency.mean_ns()`` — the same record, two
+        projections.
+        """
+        if not self.reads:
+            return {}
+        return {name: ns / self.reads for name, ns in self._stage_latency.items()}
 
     def result(self) -> SystemResult:
         """Snapshot the run's metrics."""
@@ -166,6 +218,7 @@ class StorageSystem(abc.ABC):
             latency=self.latency.stats(),
             bottleneck=resources.bottleneck_resource(),
             cache_stats=self.cache_stats(),
+            stage_breakdown=self.stage_breakdown(),
         )
 
 

@@ -121,4 +121,10 @@ def size_sweep_trace(
     )
 
 
-__all__ = ["SYNTHETIC_FILE", "SYNTHETIC_MIXES", "SyntheticConfig", "size_sweep_trace", "synthetic_trace"]
+__all__ = [
+    "SYNTHETIC_FILE",
+    "SYNTHETIC_MIXES",
+    "SyntheticConfig",
+    "size_sweep_trace",
+    "synthetic_trace",
+]

@@ -29,9 +29,11 @@ def test_sensitivity_produces_monotone_curves(tiny):
 
 def test_qd_sweep_validates_bottleneck_model(tiny):
     outcome = qd_sweep.run(tiny)
-    assert outcome.extra["block_des_ns"] / outcome.extra["block_prediction_ns"] < 1.2
+    # Replaying the *recorded* per-request demand populations, the
+    # event-level simulation converges to the roofline within 0.2%.
+    assert outcome.extra["block_des_ns"] / outcome.extra["block_prediction_ns"] < 1.002
     assert (
-        outcome.extra["pipette_des_ns"] / outcome.extra["pipette_prediction_ns"] < 1.2
+        outcome.extra["pipette_des_ns"] / outcome.extra["pipette_prediction_ns"] < 1.002
     )
     curve = outcome.extra["pipette_throughput"]
     assert curve[-1] >= curve[0]

@@ -1,0 +1,73 @@
+"""The stage-trace invariants, checked for every registered system.
+
+One record, three derived views — so for any workload:
+
+1. each read's recorded latency equals its trace's critical-path sum
+   (the LatencyRecorder is fed from the trace, so totals must match);
+2. folding the charged stages of *all* traces (finished requests plus
+   the ambient trace) reproduces the ResourceModel busy totals exactly;
+3. one queueing demand is projected per read.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
+from repro.sim.trace import HOST, PCIE, fold_charges, parse_channel
+from repro.system import available_systems, build_system
+
+from ..conftest import small_sim_config
+
+FILE = "/data/invariant.bin"
+FILE_BYTES = 512 * 1024
+
+
+def _mixed_workload(system) -> None:
+    """Reads of many sizes (fine and block paths), writes, fsync."""
+    system.create_file(FILE, FILE_BYTES)
+    fd = system.open(FILE, O_RDWR | O_FINE_GRAINED)
+    offset = 0
+    for size in (8, 64, 200, 1024, 4096, 12_288):
+        system.read(fd, offset, size)
+        system.read(fd, offset, size)  # repeat: exercise cache hits
+        offset += 16_384
+    system.write(fd, 100, b"\xab" * 300)  # partial page: RMW
+    system.write(fd, 16_384, b"\xcd" * 4096)  # full page overwrite
+    system.read(fd, 100, 300)  # read-your-write
+    system.fsync(fd)
+    system.read(fd, 40_000, 128)
+
+
+@pytest.mark.parametrize("name", available_systems())
+def test_stage_trace_invariants(name):
+    system = build_system(name, small_sim_config())
+    system.tracer.retain = True
+    _mixed_workload(system)
+
+    reads = [trace for trace in system.tracer.finished if trace.name == "read"]
+    assert len(reads) == system.reads == len(system.demands)
+
+    # (1) QD-1 latency is the trace's critical-path sum, per request.
+    assert sum(trace.latency_ns() for trace in reads) == pytest.approx(
+        system.latency.total_ns, rel=1e-12
+    )
+
+    # (2) The ledger is a pure fold of the recorded stages.
+    resources = system.device.resources
+    totals = fold_charges(system.tracer.finished + [system.tracer.ambient])
+    per_channel = [0.0] * resources.channels
+    for resource, ns in totals.items():
+        index = parse_channel(resource)
+        if index is not None:
+            per_channel[index] += ns
+    assert totals.get(HOST, 0.0) == pytest.approx(resources.host_busy_ns, rel=1e-12)
+    assert totals.get(PCIE, 0.0) == pytest.approx(resources.pcie_busy_ns, rel=1e-12)
+    for index, busy in enumerate(resources.channel_busy_ns):
+        assert per_channel[index] == pytest.approx(busy, rel=1e-12, abs=1e-9)
+
+    # (3) The anatomy view sums back to the same mean.
+    breakdown = system.stage_breakdown()
+    assert sum(breakdown.values()) == pytest.approx(
+        system.latency.mean_ns(), rel=1e-12
+    )

@@ -14,11 +14,14 @@ def test_host_and_pcie_accumulate():
     assert model.pcie_busy_ns == 7.0
 
 
-def test_channel_charging_wraps_index():
+def test_channel_charging_rejects_out_of_range_index():
     model = ResourceModel(channels=4)
     model.channel(1, 3.0)
-    model.channel(5, 2.0)  # wraps to channel 1
-    assert model.channel_busy_ns[1] == 5.0
+    with pytest.raises(ValueError, match="out of range"):
+        model.channel(5, 2.0)
+    with pytest.raises(ValueError, match="out of range"):
+        model.channel(-1, 2.0)
+    assert model.channel_busy_ns[1] == 3.0
 
 
 def test_nand_busy_is_max_channel():
