@@ -243,6 +243,11 @@ class CacheConfig:
     #: Maximum fraction of the shared budget the FGRC may grow to.
     fgrc_max_fraction: float = 0.75
 
+    #: Seed of the cache's private RNG (random migration-donor choice,
+    #: paper 3.2.1 #2).  Injected so every random draw in a run is a
+    #: function of configuration, never of a global stream.
+    rng_seed: int = 0xF1B377E
+
     def __post_init__(self) -> None:
         if self.shared_memory_bytes <= 0 or self.fgrc_bytes <= 0:
             raise ValueError("memory budgets must be positive")

@@ -52,13 +52,17 @@ class FineGrainedReadCache:
         page_cache: PageCache,
         *,
         transfer_data: bool = True,
-        seed: int = 0xF1B377E,
+        seed: int | None = None,
     ) -> None:
         self.config = cache_config
         self.page_cache = page_cache
         self.hmb = hmb
         self.transfer_data = transfer_data
-        self._rng = random.Random(seed)
+        #: Per-instance seeded stream (plumbed from CacheConfig.rng_seed
+        #: unless a caller overrides it) — never the global `random`
+        #: module, so concurrent caches and unrelated draws cannot
+        #: perturb each other's sequences.
+        self._rng = random.Random(cache_config.rng_seed if seed is None else seed)
 
         info_bytes = cache_config.info_area_entries * 12
         needed = info_bytes + cache_config.tempbuf_bytes + cache_config.fgrc_bytes

@@ -1,0 +1,33 @@
+"""simlint: AST-based invariant checks for the virtual-time simulator.
+
+The reproduction's central claim — results are a deterministic function
+of config + seed on a virtual clock — is a *discipline*, not a language
+feature.  This package makes the discipline machine-checked:
+
+- :mod:`repro.lint.rules` hold the five domain rules
+  (``virtual-time-purity``, ``seeded-rng-only``, ``stage-charging``,
+  ``unit-suffix-consistency``, ``deterministic-iteration``);
+- :mod:`repro.lint.engine` runs them over a file tree, honouring
+  ``# simlint: allow[rule]`` suppressions;
+- :mod:`repro.lint.baseline` grandfathers pre-existing findings;
+- ``python -m repro.lint`` is the CLI that CI gates on.
+
+The static rules are paired with a *runtime* sanitizer
+(:mod:`repro.sim.sanitize`, ``REPRO_SANITIZE=1``) asserting per-request
+trace invariants the AST cannot see.  See ``docs/LINTING.md``.
+"""
+
+from repro.lint.engine import lint_file, lint_source, run
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.rules.base import RULES, Rule, register
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_source",
+    "register",
+    "run",
+    "sort_findings",
+]

@@ -1,0 +1,76 @@
+"""Baseline files: grandfather pre-existing findings without hiding new ones.
+
+The baseline maps ``path -> rule -> count``.  Counts instead of line
+numbers keep entries stable across unrelated edits: a file may keep its
+*n* grandfathered violations of a rule anywhere, but the (*n*+1)-th is
+reported.  A shrinking file leaves *stale* budget behind, which the CLI
+reports so the baseline is ratcheted down, never silently loosened.
+
+The repository ships an empty baseline (``simlint-baseline.json``):
+every real violation was either fixed or carries an inline
+``# simlint: allow[...]`` justification.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import Finding
+
+VERSION = 1
+
+Baseline = dict[str, dict[str, int]]
+
+
+def load(path: str | Path) -> Baseline:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != VERSION:
+        raise ValueError(f"unsupported baseline version {payload.get('version')!r}")
+    findings = payload.get("findings", {})
+    return {
+        file: {rule: int(count) for rule, count in rules.items()}
+        for file, rules in findings.items()
+    }
+
+
+def dump(findings: Iterable[Finding], path: str | Path) -> Baseline:
+    """Write the baseline that grandfathers exactly ``findings``."""
+    baseline: Baseline = {}
+    for finding in findings:
+        rules = baseline.setdefault(finding.path, {})
+        rules[finding.rule] = rules.get(finding.rule, 0) + 1
+    payload = {"version": VERSION, "findings": baseline}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return baseline
+
+
+def apply(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[tuple[str, str, int]]]:
+    """Split findings into (reported, stale-baseline-entries).
+
+    Consumes baseline budget per (path, rule) in report order and
+    returns the findings that exceeded it, plus ``(path, rule,
+    unused)`` triples for budget no finding consumed — entries that
+    should be deleted from the baseline file.
+    """
+    budget = {path: dict(rules) for path, rules in baseline.items()}
+    reported: list[Finding] = []
+    for finding in findings:
+        remaining = budget.get(finding.path, {}).get(finding.rule, 0)
+        if remaining > 0:
+            budget[finding.path][finding.rule] = remaining - 1
+        else:
+            reported.append(finding)
+    stale = [
+        (path, rule, count)
+        for path, rules in sorted(budget.items())
+        for rule, count in sorted(rules.items())
+        if count > 0
+    ]
+    return reported, stale
+
+
+__all__ = ["Baseline", "VERSION", "apply", "dump", "load"]

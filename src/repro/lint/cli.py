@@ -1,0 +1,102 @@
+"""``python -m repro.lint``: the simlint command line.
+
+Exit codes: 0 clean (or fully baselined/suppressed), 1 findings
+reported, 2 bad invocation.  See ``docs/LINTING.md`` for the rule
+catalogue and the suppression/baseline workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import run
+from repro.lint.rules.base import RULES
+
+#: Default baseline location, picked up when it exists in the cwd.
+DEFAULT_BASELINE = "simlint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: AST invariant checks for the virtual-time simulator.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="list rule ids and exit")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the per-finding lines"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}: {RULES[rule_id].description}")
+        return 0
+
+    try:
+        findings = run(args.paths, rule_ids=args.rules)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    except OSError as exc:
+        print(f"simlint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        baseline_mod.dump(findings, baseline_path)
+        print(f"simlint: wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    stale: list[tuple[str, str, int]] = []
+    if not args.no_baseline and baseline_path.exists():
+        findings, stale = baseline_mod.apply(findings, baseline_mod.load(baseline_path))
+
+    if not args.quiet:
+        for finding in findings:
+            print(finding.render())
+    for path, rule, count in stale:
+        print(
+            f"simlint: stale baseline entry {path} [{rule}] x{count} — "
+            "the violations are gone; remove it",
+            file=sys.stderr,
+        )
+    checked = ", ".join(str(p) for p in args.paths)
+    print(f"simlint: {len(findings)} finding(s) in {checked}")
+    return 1 if findings else 0
+
+
+__all__ = ["DEFAULT_BASELINE", "main"]

@@ -1,0 +1,107 @@
+"""seeded-rng-only: all randomness flows from an injected ``Random(seed)``.
+
+Module-level ``random.*`` calls draw from one hidden global stream:
+any import-order change or unrelated extra draw reshuffles every
+workload, so "same config + seed" stops meaning "same results".  The
+rule requires each component to own a ``random.Random(seed)`` (or
+``numpy.random.default_rng(seed)``) instance plumbed from its config —
+see ``CacheConfig.rng_seed`` and ``*WorkloadConfig.seed``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, attr_chain, module_aliases, register
+
+#: ``random``-module attributes that are fine to reference: the seeded
+#: generator class and the distribution types it exposes.
+ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
+
+#: numpy.random constructors that accept an explicit seed.
+ALLOWED_NUMPY_ATTRS = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+
+@register
+class SeededRngOnly(Rule):
+    id = "seeded-rng-only"
+    description = (
+        "module-level random.* / numpy.random.* calls use a hidden "
+        "global stream; inject a random.Random(seed) or "
+        "numpy.random.default_rng(seed) plumbed from config"
+    )
+    packages = None  # determinism is global; enforced everywhere
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        random_aliases = module_aliases(ctx.tree, "random")
+        numpy_aliases = module_aliases(ctx.tree, "numpy", "numpy.random")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for item in node.names:
+                    if item.name not in ALLOWED_RANDOM_ATTRS:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"import of global-stream `random.{item.name}`; "
+                                "inject a seeded random.Random instead",
+                            )
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            root, leaf = chain[0], chain[-1]
+            if root in random_aliases and len(chain) == 2:
+                if leaf == "Random":
+                    if not node.args and not node.keywords:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                "unseeded random.Random(); pass an explicit "
+                                "seed plumbed from config",
+                            )
+                        )
+                elif leaf == "SystemRandom":
+                    findings.append(
+                        self.finding(
+                            ctx, node, "random.SystemRandom is never reproducible"
+                        )
+                    )
+                else:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"global-stream call `{'.'.join(chain)}()`; use an "
+                            "injected random.Random(seed)",
+                        )
+                    )
+            elif root in numpy_aliases and len(chain) >= 2 and "random" in chain[:-1]:
+                if leaf in ALLOWED_NUMPY_ATTRS:
+                    if leaf == "default_rng" and not node.args and not node.keywords:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                "unseeded numpy default_rng(); pass an explicit seed",
+                            )
+                        )
+                else:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"legacy numpy global-stream call `{'.'.join(chain)}()`; "
+                            "use numpy.random.default_rng(seed)",
+                        )
+                    )
+        return findings
+
+
+__all__ = ["SeededRngOnly"]

@@ -1,0 +1,96 @@
+"""stage-charging: costs are recorded as stages, not side-effect charges.
+
+Since the stage-trace refactor (PR 1), the resource ledger is a
+*derived view*: charged :class:`repro.sim.trace.Stage` entries fold
+into the :class:`repro.sim.resources.ResourceModel` at exactly one
+choke point (``Tracer._fold``).  Direct ledger charging — or advancing
+a :class:`VirtualClock` from a module that never touches the Tracer —
+reintroduces costs the traces cannot see, silently breaking the
+"ledger totals equal trace sums" invariant the runtime sanitizer
+asserts.
+
+Concretely, inside the simulator packages the rule flags:
+
+- method calls ``<resources/ledger>.host/pcie/channel/any_channel(...)``
+  anywhere outside ``repro.sim.trace`` / ``repro.sim.resources``;
+- method calls ``<clock>.advance(...)`` in modules that do not import
+  ``repro.sim.trace`` (a module that records stages may also drive a
+  clock; one that does neither is bypassing the Tracer).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    SIM_PACKAGES,
+    Rule,
+    attr_chain,
+    imports_module,
+    register,
+)
+
+#: ResourceModel charging methods (the ledger's accumulators).
+CHARGE_METHODS = frozenset({"host", "pcie", "channel", "any_channel"})
+
+#: Receiver names that identify the ledger (``resources.host(...)``,
+#: ``self.resources.pcie(...)``, ``ledger.channel(...)``).  ``tracer.host``
+#: is the sanctioned recording API and is *not* matched.
+LEDGER_NAMES = frozenset({"resources", "ledger", "resource_model"})
+
+#: Receiver names that identify a virtual clock.
+CLOCK_NAMES = frozenset({"clock", "vclock", "virtual_clock"})
+
+#: The choke-point modules allowed to touch the ledger directly.
+EXEMPT_SUFFIXES = ("repro/sim/trace.py", "repro/sim/resources.py", "repro/sim/clock.py")
+
+
+@register
+class StageCharging(Rule):
+    id = "stage-charging"
+    description = (
+        "charge costs by recording stages through the Tracer "
+        "(tracer.host/pcie/channel), never by calling the ResourceModel "
+        "or VirtualClock directly"
+    )
+    packages = SIM_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        normalized = ctx.path.replace("\\", "/")
+        if normalized.endswith(EXEMPT_SUFFIXES):
+            return []
+        routes_through_tracer = imports_module(ctx.tree, "repro.sim.trace")
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            receiver, method = chain[-2], chain[-1]
+            if method in CHARGE_METHODS and receiver in LEDGER_NAMES:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"direct ledger charge `{'.'.join(chain)}()` bypasses the "
+                        "Tracer choke point; record a Stage (tracer."
+                        f"{method}(...)) so latency/ledger/demand stay one record",
+                    )
+                )
+            elif method == "advance" and receiver in CLOCK_NAMES and not routes_through_tracer:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"`{'.'.join(chain)}()` advances the virtual clock in a "
+                        "module that never records stages; route the cost "
+                        "through the Tracer",
+                    )
+                )
+        return findings
+
+
+__all__ = ["StageCharging"]

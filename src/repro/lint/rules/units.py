@@ -1,0 +1,100 @@
+"""unit-suffix-consistency: no silent mixing of `_ns`/`_us` or `_bytes`/`_pages`.
+
+The codebase encodes units in identifier suffixes (``tR_ns``,
+``tempbuf_bytes``, ``victim_pages``).  Adding or comparing two
+identifiers whose suffixes name *different* units of the same dimension
+(``x_ns + y_us``, ``used_bytes < limit_pages``) is a conversion bug the
+type system cannot catch — ``repro.config`` provides the explicit
+conversion constants (``US``, ``MS``, ``KIB``, ...) and helpers.
+
+The rule only fires when **both** operands are plain names/attributes
+with conflicting suffixes: any call or arithmetic subexpression on
+either side (``pages * page_size``) is treated as an explicit
+conversion, and multiplication/division are exempt because they are
+how conversions are written.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, register
+
+#: suffix -> dimension; mixing two *different* suffixes of the same
+#: dimension without a conversion is an error.  Mixing across
+#: dimensions (``_bytes / _ns`` bandwidths) is meaningful and allowed.
+UNIT_DIMENSIONS = {
+    "ns": "time",
+    "us": "time",
+    "ms": "time",
+    "bytes": "size",
+    "pages": "size",
+    "blocks": "size",
+    "sectors": "size",
+}
+
+
+def _unit_of(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    suffix = name.rsplit("_", 1)[-1].lower()
+    return suffix if suffix in UNIT_DIMENSIONS else None
+
+
+def _conflict(left: ast.AST, right: ast.AST) -> tuple[str, str] | None:
+    left_unit, right_unit = _unit_of(left), _unit_of(right)
+    if left_unit is None or right_unit is None or left_unit == right_unit:
+        return None
+    if UNIT_DIMENSIONS[left_unit] != UNIT_DIMENSIONS[right_unit]:
+        return None
+    return left_unit, right_unit
+
+
+@register
+class UnitSuffixConsistency(Rule):
+    id = "unit-suffix-consistency"
+    description = (
+        "adding/comparing identifiers with different unit suffixes "
+        "(_ns vs _us, _bytes vs _pages) without an explicit conversion"
+    )
+    packages = None  # unit bugs hurt everywhere
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def report(node: ast.AST, units: tuple[str, str], operation: str) -> None:
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"{operation} mixes `_{units[0]}` and `_{units[1]}` operands "
+                    "without an explicit conversion (see repro.config US/MS/KIB)",
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                units = _conflict(node.left, node.right)
+                if units:
+                    report(node, units, "arithmetic")
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, (ast.Add, ast.Sub)):
+                units = _conflict(node.target, node.value)
+                if units:
+                    report(node, units, "augmented assignment")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                        units = _conflict(left, right)
+                        if units:
+                            report(node, units, "comparison")
+        return findings
+
+
+__all__ = ["UnitSuffixConsistency", "UNIT_DIMENSIONS"]

@@ -1,0 +1,57 @@
+"""``# simlint: allow[...]`` suppression comments.
+
+A finding is suppressed when the flagged line — or a comment-only line
+directly above it — carries an allow comment naming the rule::
+
+    started = time.time()  # simlint: allow[virtual-time-purity]
+
+    # simlint: allow[seeded-rng-only,unit-suffix-consistency]
+    jitter = random.random() * budget_ns
+
+``allow[*]`` suppresses every rule on the target line.  Suppressions
+are deliberately line-scoped: there is no file- or block-level escape
+hatch, so every exemption stays visible next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ALLOW = re.compile(r"#\s*simlint:\s*allow\[([^\]]*)\]")
+
+WILDCARD = "*"
+
+
+def _allowed_rules(line: str) -> frozenset[str] | None:
+    match = _ALLOW.search(line)
+    if match is None:
+        return None
+    return frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+
+
+class SuppressionIndex:
+    """Which rules each source line allows, including carry-down.
+
+    A standalone allow comment (nothing but the comment on its line)
+    applies to itself *and* the line below, so it can sit above a long
+    statement without widening the suppression further.
+    """
+
+    def __init__(self, lines: list[str]) -> None:
+        self._by_line: dict[int, frozenset[str]] = {}
+        for number, text in enumerate(lines, start=1):
+            rules = _allowed_rules(text)
+            if rules is None:
+                continue
+            self._by_line[number] = self._by_line.get(number, frozenset()) | rules
+            if not text.split("#", 1)[0].strip():  # comment-only line
+                self._by_line[number + 1] = self._by_line.get(number + 1, frozenset()) | rules
+
+    def allows(self, line: int, rule: str) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return rule in rules or WILDCARD in rules
+
+
+__all__ = ["SuppressionIndex", "WILDCARD"]

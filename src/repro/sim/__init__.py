@@ -3,6 +3,7 @@
 from repro.sim.clock import VirtualClock
 from repro.sim.latency import LatencyRecorder, LatencyStats
 from repro.sim.resources import ResourceModel
+from repro.sim.sanitize import SanitizeError, SimSanitizer
 from repro.sim.stats import Counter, HitMissCounter, TrafficMeter
 from repro.sim.trace import Stage, StageTrace, Tracer
 
@@ -12,6 +13,8 @@ __all__ = [
     "LatencyRecorder",
     "LatencyStats",
     "ResourceModel",
+    "SanitizeError",
+    "SimSanitizer",
     "Stage",
     "StageTrace",
     "TrafficMeter",

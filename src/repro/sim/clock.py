@@ -8,6 +8,8 @@ interpreter's speed (see DESIGN.md section 2 on why).
 
 from __future__ import annotations
 
+import math
+
 
 class VirtualClock:
     """Simulated time source.
@@ -19,12 +21,21 @@ class VirtualClock:
     __slots__ = ("now_ns",)
 
     def __init__(self, start_ns: float = 0.0) -> None:
+        if not math.isfinite(start_ns):
+            raise ValueError(f"clock cannot start at non-finite time {start_ns}")
         if start_ns < 0:
             raise ValueError("clock cannot start before t=0")
         self.now_ns = float(start_ns)
 
     def advance(self, delta_ns: float) -> float:
-        """Move the clock forward by ``delta_ns`` (must be >= 0)."""
+        """Move the clock forward by ``delta_ns`` (finite and >= 0).
+
+        NaN would slip past a plain ``< 0`` guard (every comparison with
+        NaN is false) and then poison every later timestamp, so the
+        delta must be finite, not merely non-negative.
+        """
+        if not math.isfinite(delta_ns):
+            raise ValueError(f"cannot advance clock by non-finite time {delta_ns}")
         if delta_ns < 0:
             raise ValueError(f"cannot advance clock by negative time {delta_ns}")
         self.now_ns += delta_ns

@@ -1,0 +1,134 @@
+"""Runtime sanitizer: per-request trace invariants, checked at Tracer boundaries.
+
+The static rules in :mod:`repro.lint` catch code that *looks* like it
+bypasses the stage-trace discipline; this module catches code that
+actually does.  When sanitizing is active, closing a request's root
+:class:`~repro.sim.trace.StageTrace` verifies:
+
+- **well-formed stages** — every recorded duration is finite and
+  non-negative, and no derived ``"nand"`` stage claims a charge;
+- **balanced spans** — ``Tracer.end()`` without a matching ``begin``
+  raises instead of corrupting the span stack;
+- **ledger = trace sums** — the :class:`ResourceModel` busy totals
+  equal the charges the tracer folded since it was attached, so nothing
+  charged the ledger behind the traces' back (the derived-view
+  invariant of PR 1, now asserted every request).
+
+Two ways to switch it on:
+
+- environment: ``REPRO_SANITIZE=1`` (CI runs the whole pytest suite
+  this way);
+- code: ``with SimSanitizer(): ...`` for a scoped check.
+
+The checks are O(trace size) per request and skipped entirely when
+inactive, so production-scale runs pay a single ``if`` per request.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import StageTrace, Tracer
+
+#: Absolute slack for ledger comparisons, in nanoseconds.  Folding and
+#: the mirror accumulate the same float sequence, so they agree bitwise
+#: today; the tolerance keeps the check robust to refactors that batch
+#: or reorder the additions.
+LEDGER_TOLERANCE_NS = 1e-3
+
+
+class SanitizeError(AssertionError):
+    """A simulator invariant was violated at a Tracer boundary."""
+
+
+_depth = 0
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def active() -> bool:
+    """Whether sanitizer checks run (env var or an open SimSanitizer)."""
+    return _depth > 0 or _env_enabled()
+
+
+class SimSanitizer:
+    """Context manager enabling sanitizer checks for a scope.
+
+    Nests freely, composes with ``REPRO_SANITIZE=1``, and is reentrant
+    across tracers — activation is process-global because the tracers
+    it guards are long-lived objects threaded through whole systems.
+    """
+
+    def __enter__(self) -> "SimSanitizer":
+        global _depth
+        _depth += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _depth
+        _depth -= 1
+
+
+def verify_stage_values(trace: "StageTrace") -> None:
+    """Every stage of the trace tree has a finite, non-negative cost."""
+    from repro.sim.trace import NAND
+
+    for stage in trace.walk():
+        if not math.isfinite(stage.ns) or stage.ns < 0:
+            raise SanitizeError(
+                f"stage {stage.name!r} on {stage.resource!r} has invalid "
+                f"duration {stage.ns!r} in trace {trace.name!r}"
+            )
+        if stage.charged and stage.resource == NAND:
+            raise SanitizeError(
+                f"derived 'nand' stage {stage.name!r} is charged in trace {trace.name!r}"
+            )
+
+
+def verify_ledger(tracer: "Tracer") -> None:
+    """The resource ledger equals the charges this tracer folded."""
+    resources = tracer.resources
+    if resources is None:
+        return
+    base = tracer._ledger_base
+    expected_host = base[0] + tracer._folded_host
+    expected_pcie = base[1] + tracer._folded_pcie
+    mismatches: list[str] = []
+    if abs(resources.host_busy_ns - expected_host) > LEDGER_TOLERANCE_NS:
+        mismatches.append(f"host: ledger {resources.host_busy_ns} != traced {expected_host}")
+    if abs(resources.pcie_busy_ns - expected_pcie) > LEDGER_TOLERANCE_NS:
+        mismatches.append(f"pcie: ledger {resources.pcie_busy_ns} != traced {expected_pcie}")
+    for index, busy in enumerate(resources.channel_busy_ns):
+        expected = (
+            base[2][index] if index < len(base[2]) else 0.0
+        ) + tracer._folded_channels.get(index, 0.0)
+        if abs(busy - expected) > LEDGER_TOLERANCE_NS:
+            mismatches.append(f"channel:{index}: ledger {busy} != traced {expected}")
+    if mismatches:
+        raise SanitizeError(
+            "resource ledger diverged from recorded stage charges — "
+            "something charged the ResourceModel without recording a "
+            "Stage (or reset it mid-run): " + "; ".join(mismatches)
+        )
+
+
+def verify_root(tracer: "Tracer", trace: "StageTrace") -> None:
+    """Full boundary check when a root trace closes."""
+    verify_stage_values(trace)
+    verify_ledger(tracer)
+
+
+__all__ = [
+    "LEDGER_TOLERANCE_NS",
+    "SanitizeError",
+    "SimSanitizer",
+    "active",
+    "verify_ledger",
+    "verify_root",
+    "verify_stage_values",
+]

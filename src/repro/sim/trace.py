@@ -45,10 +45,12 @@ the generic ``"nand"`` tag) on top of the per-page channel charges.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
+from repro.sim import sanitize
 from repro.sim.queueing import RequestDemand
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -93,6 +95,8 @@ class Stage:
     charged: bool = True
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.ns):
+            raise ValueError(f"non-finite stage duration {self.ns}")
         if self.ns < 0:
             raise ValueError(f"negative stage duration {self.ns}")
         if self.charged and self.resource == NAND:
@@ -218,6 +222,21 @@ class Tracer:
         self.retain = retain
         self.finished: list[StageTrace] = []
         self._stack: list[StageTrace] = []
+        #: Mirror of every charge folded through this tracer plus the
+        #: ledger totals at attach time — the runtime sanitizer compares
+        #: them against the ResourceModel at each root-trace boundary to
+        #: prove the ledger is still a derived view of the traces.
+        self._folded_host = 0.0
+        self._folded_pcie = 0.0
+        self._folded_channels: dict[int, float] = {}
+        if resources is not None:
+            self._ledger_base: tuple[float, float, list[float]] = (
+                resources.host_busy_ns,
+                resources.pcie_busy_ns,
+                list(resources.channel_busy_ns),
+            )
+        else:
+            self._ledger_base = (0.0, 0.0, [])
 
     # --- context ------------------------------------------------------
     @property
@@ -231,10 +250,21 @@ class Tracer:
         return trace
 
     def end(self) -> StageTrace:
-        """Close the innermost open trace/span and return it."""
+        """Close the innermost open trace/span and return it.
+
+        When sanitizing is active (``REPRO_SANITIZE=1`` or an open
+        :class:`repro.sim.sanitize.SimSanitizer`), closing a *root*
+        trace verifies the per-request invariants: finite non-negative
+        stage costs and ledger totals equal to the folded charges.
+        """
+        if not self._stack:
+            raise sanitize.SanitizeError("Tracer.end() without a matching begin()")
         trace = self._stack.pop()
-        if self.retain and not self._stack:
-            self.finished.append(trace)
+        if not self._stack:
+            if sanitize.active():
+                sanitize.verify_root(self, trace)
+            if self.retain:
+                self.finished.append(trace)
         return trace
 
     @contextmanager
@@ -302,14 +332,17 @@ class Tracer:
         assert resources is not None
         if stage.resource == HOST:
             resources.host(stage.ns)
+            self._folded_host += stage.ns
             return
         if stage.resource == PCIE:
             resources.pcie(stage.ns)
+            self._folded_pcie += stage.ns
             return
         index = parse_channel(stage.resource)
         if index is None:
             raise ValueError(f"cannot charge unknown resource {stage.resource!r}")
         resources.channel(index, stage.ns)
+        self._folded_channels[index] = self._folded_channels.get(index, 0.0) + stage.ns
 
 
 __all__ = [

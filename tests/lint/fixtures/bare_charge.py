@@ -1,0 +1,8 @@
+"""Fixture: stage-charging counterexamples (never executed)."""
+
+
+def charge(resources, clock, ns):
+    resources.host(ns)  # expect: stage-charging
+    resources.channel(3, ns)  # expect: stage-charging
+    clock.advance(ns)  # expect: stage-charging
+    return clock

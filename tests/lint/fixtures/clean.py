@@ -1,0 +1,16 @@
+"""Fixture: zero findings — sanctioned patterns and suppressions."""
+
+import random
+import time  # importing the module is fine; calling into it is not
+
+
+def sanctioned(tracer, seed, items):
+    rng = random.Random(seed)
+    total = 0
+    for addr in sorted(set(items)):  # sorted(): the sanctioned iteration
+        tracer.host("lookup", 1.0)  # recording through the Tracer is the API
+        total += addr
+    # simlint: allow[virtual-time-purity]
+    wall = time.time()
+    jitter = time.time()  # simlint: allow[*]
+    return rng, total, wall, jitter

@@ -1,0 +1,14 @@
+"""Fixture: deterministic-iteration counterexamples (never executed)."""
+
+
+def walk(pages):
+    touched = set(pages)
+    for page in touched:  # expect: deterministic-iteration
+        yield page
+    for page in {1, 2, 3}:  # expect: deterministic-iteration
+        yield page
+    ordered = [p for p in frozenset(pages)]  # expect: deterministic-iteration
+    yield from list(touched)  # expect: deterministic-iteration
+    yield from dict.fromkeys(touched)  # expect: deterministic-iteration
+    yield from sorted(touched)  # ok: sorted() pins the order
+    yield ordered

@@ -1,0 +1,12 @@
+"""Fixture: virtual-time-purity counterexamples (never executed)."""
+
+import time
+from datetime import datetime
+from time import monotonic  # expect: virtual-time-purity
+
+
+def stamp():
+    started = time.time()  # expect: virtual-time-purity
+    time.sleep(0.1)  # expect: virtual-time-purity
+    now = datetime.now()  # expect: virtual-time-purity
+    return started, now, monotonic()

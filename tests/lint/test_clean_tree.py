@@ -1,0 +1,38 @@
+"""The shipped tree is lint-clean and the shipped baseline is honest.
+
+Acceptance gate of the simlint PR: ``python -m repro.lint src/repro``
+exits 0 against the shipped (empty) baseline, and the baseline file
+contains no stale grandfathered budget.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.cli import main
+from repro.lint.engine import run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "simlint-baseline.json"
+
+
+def test_shipped_baseline_matches_clean_run(monkeypatch) -> None:
+    monkeypatch.chdir(REPO_ROOT)
+    findings = run(["src/repro"])
+    reported, stale = baseline_mod.apply(findings, baseline_mod.load(BASELINE))
+    assert reported == [], "new simlint findings:\n" + "\n".join(
+        f.render() for f in reported
+    )
+    assert stale == [], f"stale baseline entries: {stale}"
+
+
+def test_shipped_baseline_is_empty() -> None:
+    # Every real violation was fixed or carries an inline allow
+    # comment; see docs/LINTING.md ("Baseline") for the policy.
+    assert baseline_mod.load(BASELINE) == {}
+
+
+def test_cli_gate_passes(monkeypatch) -> None:
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["src/repro", "--baseline", str(BASELINE)]) == 0

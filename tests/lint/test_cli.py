@@ -1,0 +1,89 @@
+"""CLI behaviour: exit codes, suppressions, and the baseline workflow."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+VIOLATION = "import time\n\n\ndef f():\n    return time.time()\n"
+SUPPRESSED = (
+    "import time\n\n\ndef f():\n"
+    "    return time.time()  # simlint: allow[virtual-time-purity]\n"
+)
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "virtual-time-purity",
+        "seeded-rng-only",
+        "stage-charging",
+        "unit-suffix-consistency",
+        "deterministic-iteration",
+    ):
+        assert rule in out
+
+
+def test_findings_exit_one(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main([str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "virtual-time-purity" in out
+    assert "mod.py:5" in out
+
+
+def test_suppressed_exit_zero(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(SUPPRESSED)
+    assert main([str(target)]) == 0
+
+
+def test_rule_filter(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main([str(target), "--rule", "seeded-rng-only"]) == 0
+    assert main([str(target), "--rule", "virtual-time-purity"]) == 1
+
+
+def test_unknown_rule_is_usage_error(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(target), "--rule", "no-such-rule"])
+    assert excinfo.value.code == 2
+
+
+def test_baseline_roundtrip(tmp_path: Path, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    # Grandfather the existing finding, then the same tree is clean...
+    assert main(["mod.py", "--write-baseline"]) == 0
+    assert (tmp_path / "simlint-baseline.json").exists()
+    assert main(["mod.py"]) == 0
+    # ...but a *new* violation still fails.
+    target.write_text(VIOLATION + "\n\ndef g():\n    return time.time()\n")
+    assert main(["mod.py"]) == 1
+
+
+def test_stale_baseline_reported(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    target.write_text("def f():\n    return 0\n")  # violation fixed
+    assert main(["mod.py"]) == 0
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_no_baseline_flag_ignores_file(tmp_path: Path, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    assert main(["mod.py", "--no-baseline"]) == 1

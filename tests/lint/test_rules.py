@@ -1,0 +1,115 @@
+"""Each simlint rule catches its fixture counterexample — exactly.
+
+Fixtures under ``fixtures/`` carry ``# expect: <rule-id>`` markers on
+every line a finding must anchor to; the tests diff the engine's
+(line, rule) pairs against the markers, so both false negatives *and*
+false positives fail.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import lint_file, lint_source
+from repro.lint.rules.base import RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> the rule whose counterexample it is.
+FIXTURE_RULES = {
+    "wallclock.py": "virtual-time-purity",
+    "unseeded_rng.py": "seeded-rng-only",
+    "bare_charge.py": "stage-charging",
+    "mixed_units.py": "unit-suffix-consistency",
+    "set_iteration.py": "deterministic-iteration",
+    "clean.py": None,
+}
+
+
+def expected_findings(path: Path) -> list[tuple[int, str]]:
+    expected: list[tuple[int, str]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if "# expect:" in line:
+            for rule in line.split("# expect:", 1)[1].split(","):
+                expected.append((lineno, rule.strip()))
+    return sorted(expected)
+
+
+def test_every_fixture_is_tested() -> None:
+    on_disk = {path.name for path in FIXTURES.glob("*.py")}
+    assert on_disk == set(FIXTURE_RULES)
+
+
+def test_every_rule_has_a_fixture() -> None:
+    assert set(RULES) == {rule for rule in FIXTURE_RULES.values() if rule}
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE_RULES))
+def test_fixture_findings_match_markers(name: str) -> None:
+    path = FIXTURES / name
+    found = sorted((f.line, f.rule) for f in lint_file(path))
+    assert found == expected_findings(path)
+
+
+@pytest.mark.parametrize(
+    "name,rule", [(n, r) for n, r in FIXTURE_RULES.items() if r is not None]
+)
+def test_rule_catches_its_counterexample(name: str, rule: str) -> None:
+    findings = lint_file(FIXTURES / name, rules=[RULES[rule]])
+    assert findings, f"{rule} found nothing in {name}"
+    assert {f.rule for f in findings} == {rule}
+
+
+# --- targeted edge cases the fixtures keep implicit -------------------
+
+
+def test_package_scoping_exempts_non_sim_packages() -> None:
+    source = "def f(resources, ns):\n    return resources.host(ns)\n"
+    # Inside an enforced simulator package: flagged.
+    assert lint_source(source, "src/repro/ssd/thing.py")
+    # Analysis/reporting code is outside the stage-charging scope.
+    assert not lint_source(source, "src/repro/analysis/thing.py")
+    # Files outside the repro tree get the full rule set.
+    assert lint_source(source, "scripts/thing.py")
+
+
+def test_clock_advance_allowed_in_tracer_routing_module() -> None:
+    source = (
+        "from repro.sim.trace import Tracer\n"
+        "def f(clock, ns):\n"
+        "    return clock.advance(ns)\n"
+    )
+    assert not lint_source(source, "src/repro/sim/engine.py")
+
+
+def test_choke_point_modules_are_exempt() -> None:
+    source = "def f(resources, ns):\n    return resources.host(ns)\n"
+    assert not lint_source(source, "src/repro/sim/trace.py")
+
+
+def test_aliased_time_import_still_flagged() -> None:
+    source = "import time as walltime\n\ndef f():\n    return walltime.time()\n"
+    findings = lint_source(source, "src/repro/sim/thing.py")
+    assert [(f.line, f.rule) for f in findings] == [(4, "virtual-time-purity")]
+
+
+def test_seeded_numpy_generator_is_clean() -> None:
+    source = (
+        "import numpy as np\n\n"
+        "def f(seed):\n"
+        "    return np.random.default_rng(seed).integers(10)\n"
+    )
+    assert not lint_source(source, "src/repro/workloads/thing.py")
+
+
+def test_unit_mixing_across_dimensions_is_allowed() -> None:
+    # bytes / ns is a bandwidth; size-vs-time mixing is meaningful.
+    source = "def f(n_bytes, window_ns):\n    return n_bytes + window_ns\n"
+    assert not lint_source(source, "src/repro/sim/thing.py")
+
+
+def test_syntax_error_becomes_finding() -> None:
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert [f.rule for f in findings] == ["syntax-error"]

@@ -32,6 +32,22 @@ def test_negative_start_rejected():
         VirtualClock(-5.0)
 
 
+@pytest.mark.parametrize("delta", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_advance_rejected(delta):
+    # NaN slips past a plain `< 0` guard (all NaN comparisons are
+    # false) and would poison every later timestamp.
+    clock = VirtualClock(7.0)
+    with pytest.raises(ValueError, match="non-finite"):
+        clock.advance(delta)
+    assert clock.now_ns == 7.0
+
+
+@pytest.mark.parametrize("start", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_start_rejected(start):
+    with pytest.raises(ValueError, match="non-finite"):
+        VirtualClock(start)
+
+
 def test_reset_rewinds():
     clock = VirtualClock(100.0)
     clock.reset()
