@@ -1,0 +1,38 @@
+"""Bench: multi-tenant serving — arbitration fairness and QoS isolation."""
+
+from repro.experiments import serving
+
+from benchmarks.conftest import save_report
+
+
+def test_serving_mt(benchmark, scale, results_dir):
+    outcome = benchmark.pedantic(serving.run, args=(scale,), rounds=1, iterations=1)
+    save_report(results_dir, "serving", outcome.report)
+    benchmark.extra_info["report"] = outcome.report
+
+    arbitration = outcome.extra["arbitration"]
+    # Plain RR splits identical tenants evenly; WRR 2:1 privileges the
+    # weighted tenant's latency (both run the same trace shape).
+    rr_heavy = arbitration["rr"]["tenants"]["heavy"]
+    rr_light = arbitration["rr"]["tenants"]["light"]
+    assert rr_heavy["mean_latency_ns"] / rr_light["mean_latency_ns"] < 1.1
+    assert rr_light["mean_latency_ns"] / rr_heavy["mean_latency_ns"] < 1.1
+    wrr_heavy = arbitration["wrr"]["tenants"]["heavy"]
+    wrr_light = arbitration["wrr"]["tenants"]["light"]
+    assert wrr_heavy["mean_latency_ns"] < wrr_light["mean_latency_ns"]
+
+    ablation = outcome.extra["ablation"]
+    # The token bucket binds: the batch tenant was actually delayed and
+    # never exceeded burst + rate * elapsed.
+    limited = ablation["rate-limit"]["tenants"]["batch"]
+    elapsed_s = ablation["rate-limit"]["elapsed_ns"] / 1e9
+    assert limited["rate_delayed"] > 0
+    assert limited["completed"] <= 16 + serving.BATCH_LIMIT_QPS * elapsed_s
+    # Shedding is lossy for batch and typed/counted per tenant.
+    shed = ablation["shed"]["tenants"]["batch"]
+    assert shed["shed"] > 0
+    assert shed["completed"] + shed["shed"] == shed["submitted"]
+    # Capping the batch tenant relieves the interactive tenant's tail.
+    p99_none = ablation["none"]["tenants"]["interactive"]["p99_ns"]
+    p99_limited = ablation["rate-limit"]["tenants"]["interactive"]["p99_ns"]
+    assert p99_limited <= p99_none * 1.05

@@ -19,6 +19,9 @@ The package is organized as a full storage stack simulator:
   Pipette-without-cache comparison systems.
 - :mod:`repro.workloads` -- Table 1 synthetic workloads plus the
   recommender-system and social-graph application traces.
+- :mod:`repro.serve` -- the concurrent multi-tenant serving layer:
+  virtual-time event loop, NVMe multi-queue arbitration, per-tenant
+  QoS, and exact tail-latency accounting.
 - :mod:`repro.analysis` -- metrics aggregation and paper-style reports.
 - :mod:`repro.experiments` -- one runner per paper table/figure.
 """

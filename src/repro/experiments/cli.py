@@ -27,6 +27,7 @@ from repro.experiments import (
     multitenant,
     qd_sweep,
     sensitivity,
+    serving,
     table2,
     table3,
     table4,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "qd-sweep": qd_sweep.run,
     "stability": multiseed.run,
     "multitenant": multitenant.run,
+    "serving": serving.run,
 }
 
 #: Order that reuses memoized suites (synthetic uniform/zipfian, apps).
@@ -69,6 +71,7 @@ ALL_ORDER = [
     "qd-sweep",
     "stability",
     "multitenant",
+    "serving",
 ]
 
 

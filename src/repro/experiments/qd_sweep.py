@@ -13,6 +13,10 @@ depths 1..64, showing both views emerge from the same record —
 - at depth 1 the latency gap matches Fig. 8's;
 - at high depth the throughput converges to the bottleneck model used
   for Fig. 6.
+
+The replay runs on the shared discrete-event engine
+(:mod:`repro.serve.engine`) — the same loop that drives the
+multi-tenant serving layer.
 """
 
 from __future__ import annotations

@@ -12,8 +12,10 @@ RULES: dict[str, "Rule"] = {}
 
 #: The packages whose code runs on the virtual clock's critical path —
 #: the scope of the simulator-discipline rules (ISSUE: the simulation
-#: core; experiments/workloads are generators *around* it).
-SIM_PACKAGES = frozenset({"sim", "ssd", "kernel", "core", "baselines"})
+#: core; experiments/workloads are generators *around* it).  ``serve``
+#: is in scope: the event loop, arbitration and QoS all execute on the
+#: virtual timeline and must stay deterministic.
+SIM_PACKAGES = frozenset({"sim", "ssd", "kernel", "core", "baselines", "serve"})
 
 
 class Rule:

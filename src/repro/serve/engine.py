@@ -1,0 +1,176 @@
+"""Deterministic virtual-time discrete-event engine for the serving layer.
+
+The rest of the repository measures *costs* (stage traces folded into
+the resource ledger); this module supplies the *timeline*: a seeded-
+input, wall-clock-free event loop that interleaves many concurrent
+requests against shared resources.  It generalizes the closed-loop
+sweep that used to be hand-rolled inside ``repro.sim.queueing`` — the
+:class:`PipelineSimulator` now runs on this loop, and the multi-tenant
+server (:mod:`repro.serve.server`) schedules admissions, arbitration
+and stage service through it.
+
+Determinism contract
+--------------------
+
+- Events are ordered by ``(time_ns, seq)`` where ``seq`` is a
+  monotonically increasing schedule counter: simultaneous events fire
+  in the order they were scheduled, never in hash or heap-rebalance
+  order.
+- The loop never reads a wall clock and owns no RNG; any randomness
+  (open-loop arrival processes) lives in the callers, which draw from
+  seeded generators in event-callback order — itself deterministic.
+- ``schedule`` rejects non-finite and negative delays for the same
+  reason :class:`repro.sim.clock.VirtualClock` does: one NaN poisons
+  every later timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from typing import Callable
+
+
+class ScheduledEvent:
+    """Handle for a pending callback; ``cancel()`` to drop it."""
+
+    __slots__ = ("time_ns", "seq", "callback", "cancelled")
+
+    def __init__(self, time_ns: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time_ns = time_ns
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.callback = _noop
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+
+
+def _noop() -> None:
+    return None
+
+
+class EventLoop:
+    """A heap of virtual-time events; time only moves forward.
+
+    ``now_ns`` is the virtual clock: it jumps from event to event and
+    is only readable, never assignable, from callbacks.
+    """
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        if not math.isfinite(start_ns) or start_ns < 0:
+            raise ValueError(f"loop cannot start at {start_ns!r}")
+        self.now_ns = float(start_ns)
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay_ns: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback`` ``delay_ns`` virtual nanoseconds from now."""
+        if not math.isfinite(delay_ns) or delay_ns < 0:
+            raise ValueError(f"cannot schedule {delay_ns!r} ns ahead")
+        return self.schedule_at(self.now_ns + delay_ns, callback)
+
+    def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback`` at absolute virtual time ``time_ns``."""
+        if not math.isfinite(time_ns):
+            raise ValueError(f"cannot schedule at {time_ns!r}")
+        if time_ns < self.now_ns:
+            raise ValueError(
+                f"cannot schedule into the past ({time_ns} < now {self.now_ns})"
+            )
+        event = ScheduledEvent(time_ns, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until_ns: float | None = None) -> float:
+        """Process events in ``(time, seq)`` order; returns final time.
+
+        With ``until_ns`` the loop stops *before* any event scheduled
+        later than the horizon and parks the clock exactly there —
+        callers measuring rates over a fixed window divide by a clean
+        horizon, not by whenever the last event happened to land.
+        """
+        if until_ns is not None and until_ns < self.now_ns:
+            raise ValueError(f"horizon {until_ns} is in the past (now {self.now_ns})")
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ns is not None and event.time_ns > until_ns:
+                break
+            heapq.heappop(self._heap)
+            self.now_ns = event.time_ns
+            self.processed += 1
+            event.callback()
+        if until_ns is not None:
+            self.now_ns = max(self.now_ns, until_ns)
+        return self.now_ns
+
+
+class FifoResource:
+    """``servers`` identical servers with one FIFO queue (M/G/c style).
+
+    Jobs are served in arrival order; a job begins the moment a server
+    is idle and runs for its ``service_ns`` without preemption.  The
+    completion callback receives the completion timestamp.  ``busy_ns``
+    accumulates total service time — the same quantity the resource
+    ledger calls "busy" — so utilization and bottleneck checks read
+    straight off the resource.
+    """
+
+    __slots__ = ("loop", "servers", "name", "_idle", "_queue", "busy_ns", "served")
+
+    def __init__(self, loop: EventLoop, servers: int = 1, *, name: str = "") -> None:
+        if servers <= 0:
+            raise ValueError("a resource needs at least one server")
+        self.loop = loop
+        self.servers = servers
+        self.name = name
+        self._idle = servers
+        self._queue: deque[tuple[float, Callable[[float], None]]] = deque()
+        self.busy_ns = 0.0
+        self.served = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        return self.servers - self._idle
+
+    def acquire(self, service_ns: float, done: Callable[[float], None]) -> None:
+        """Enqueue a job; ``done(end_ns)`` fires when service completes."""
+        if not math.isfinite(service_ns) or service_ns < 0:
+            raise ValueError(f"invalid service time {service_ns!r}")
+        if self._idle:
+            self._start(service_ns, done)
+        else:
+            self._queue.append((service_ns, done))
+
+    def _start(self, service_ns: float, done: Callable[[float], None]) -> None:
+        self._idle -= 1
+        self.busy_ns += service_ns
+        self.served += 1
+        self.loop.schedule(service_ns, lambda: self._finish(done))
+
+    def _finish(self, done: Callable[[float], None]) -> None:
+        self._idle += 1
+        if self._queue:
+            next_service, next_done = self._queue.popleft()
+            self._start(next_service, next_done)
+        done(self.loop.now_ns)
+
+
+__all__ = ["EventLoop", "FifoResource", "ScheduledEvent"]

@@ -1,0 +1,96 @@
+"""Per-tenant serving metrics: throughput, achieved QPS, tail latency.
+
+One :class:`TenantMetrics` per tenant accumulates during the run
+(counters + an exact :class:`~repro.sim.stats.LatencyHistogram`); the
+server snapshots everything into a :class:`ServeResult` whose
+``to_dict`` is deterministic — same ``ServeConfig`` + seed produces a
+byte-identical dict, which is exactly what the determinism regression
+test compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import LatencyHistogram
+
+
+@dataclass
+class TenantMetrics:
+    """Live accumulator for one tenant."""
+
+    tenant: str
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    rate_delayed: int = 0
+    reads: int = 0
+    writes: int = 0
+    demanded_bytes: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queue_delay: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def snapshot(self, elapsed_ns: float) -> dict[str, float]:
+        elapsed_s = elapsed_ns / 1e9 if elapsed_ns > 0 else 0.0
+        achieved_qps = self.completed / elapsed_s if elapsed_s else 0.0
+        return {
+            "submitted": float(self.submitted),
+            "admitted": float(self.admitted),
+            "completed": float(self.completed),
+            "shed": float(self.shed),
+            "rate_delayed": float(self.rate_delayed),
+            "reads": float(self.reads),
+            "writes": float(self.writes),
+            "demanded_bytes": float(self.demanded_bytes),
+            "achieved_qps": achieved_qps,
+            "mean_latency_ns": self.latency.mean_ns,
+            "p50_ns": self.latency.p50_ns,
+            "p95_ns": self.latency.p95_ns,
+            "p99_ns": self.latency.p99_ns,
+            "p999_ns": self.latency.p999_ns,
+            "max_ns": self.latency.max_ns,
+            "mean_queue_delay_ns": self.queue_delay.mean_ns,
+        }
+
+
+@dataclass
+class ServeResult:
+    """Snapshot of one serving run (the server's return value)."""
+
+    system: str
+    arbitration: str
+    elapsed_ns: float
+    max_inflight_observed: int
+    events_processed: int
+    tenants: dict[str, dict[str, float]]
+
+    @property
+    def total_completed(self) -> int:
+        return int(sum(t["completed"] for t in self.tenants.values()))
+
+    @property
+    def total_qps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.total_completed / (self.elapsed_ns / 1e9)
+
+    def tenant(self, name: str) -> dict[str, float]:
+        return self.tenants[name]
+
+    def to_dict(self) -> dict[str, object]:
+        """Deterministic, JSON-friendly dump (regression-comparable)."""
+        return {
+            "system": self.system,
+            "arbitration": self.arbitration,
+            "elapsed_ns": self.elapsed_ns,
+            "max_inflight_observed": self.max_inflight_observed,
+            "events_processed": self.events_processed,
+            "tenants": {
+                name: dict(sorted(stats.items()))
+                for name, stats in sorted(self.tenants.items())
+            },
+        }
+
+
+__all__ = ["ServeResult", "TenantMetrics"]

@@ -1,0 +1,352 @@
+"""The multi-tenant serving façade: clients -> QoS -> NVMe MQ -> system.
+
+:class:`StorageServer` runs many concurrent tenants against one
+registered :class:`~repro.system.StorageSystem` (Pipette or any
+baseline) on the deterministic event loop:
+
+1. a tenant's client (:mod:`repro.serve.clients`) submits an op;
+2. admission control applies the tenant's token bucket and queue-full
+   policy (:mod:`repro.serve.qos`) before the op enters the tenant's
+   NVMe submission ring (:mod:`repro.serve.nvme_mq`);
+3. whenever a device slot is free, the arbiter (RR or NVMe-style WRR)
+   picks the next ring to fetch from;
+4. the fetched op executes against the storage system, which records
+   the request's :class:`~repro.sim.trace.StageTrace` exactly as in
+   single-stream mode — the runtime sanitizer's ledger==trace-sums
+   invariant is checked at every root-trace close, now with many
+   requests in flight;
+5. the finished trace's queueing demand (``StageTrace.demand``) is
+   replayed through shared host/NAND-channel/PCIe stage resources on
+   the loop, so the op's *completion time* reflects contention with
+   every other in-flight request;
+6. completion feeds the tenant's tail-latency accounting and, for
+   closed-loop clients, releases the next submission.
+
+Same ``ServeConfig`` + seed => byte-identical :class:`ServeResult`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config import SimConfig
+from repro.kernel.vfs import O_FINE_GRAINED, O_RDWR
+from repro.serve.clients import Client, ClosedLoopClient, OpenLoopClient
+from repro.serve.engine import EventLoop, FifoResource
+from repro.serve.metrics import ServeResult, TenantMetrics
+from repro.serve.nvme_mq import ARBITERS, MultiQueueNvme
+from repro.serve.qos import SHED, AdmissionRejected, TenantQoS, TokenBucket
+from repro.system import StorageSystem, build_system
+from repro.workloads.trace import Op, ReadOp, Trace, WriteOp
+
+#: Client modes accepted by :class:`TenantSpec`.
+CLOSED = "closed"
+OPEN = "open"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a workload, its QoS contract, and its client shape."""
+
+    name: str
+    trace: Trace
+    qos: TenantQoS = field(default_factory=TenantQoS)
+    #: ``"closed"`` (concurrency + think time) or ``"open"`` (Poisson).
+    mode: str = CLOSED
+    #: Closed-loop: number of outstanding synchronous callers.
+    concurrency: int = 8
+    #: Closed-loop: virtual think time between completion and next op.
+    think_ns: float = 0.0
+    #: Open-loop: offered arrival rate in ops per simulated second.
+    rate_qps: float = 0.0
+    #: Cap on ops taken from the trace (``None`` = run it dry).
+    max_ops: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.mode not in (CLOSED, OPEN):
+            raise ValueError(f"unknown client mode {self.mode!r}")
+        if self.mode == OPEN and self.rate_qps <= 0:
+            raise ValueError("open-loop tenants need a positive rate_qps")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that determines a serving run (with the system config)."""
+
+    tenants: tuple[TenantSpec, ...]
+    system: str = "pipette"
+    #: ``"rr"`` or ``"wrr"`` NVMe submission-queue arbitration.
+    arbitration: str = "wrr"
+    #: Device slots: maximum requests concurrently in the stage pipeline.
+    max_inflight: int = 8
+    #: Seed for open-loop arrival processes (per-tenant streams derive
+    #: from it deterministically).
+    seed: int = 42
+    fine_grained: bool = True
+    #: Optional horizon: stop the loop at this virtual time (rate
+    #: measurements over a clean window); ``None`` runs all ops dry.
+    max_time_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        names = [spec.name for spec in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        if self.arbitration not in ARBITERS:
+            raise ValueError(
+                f"unknown arbitration {self.arbitration!r}; choose from {sorted(ARBITERS)}"
+            )
+        if self.max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+
+
+class _TenantState:
+    """Server-side live state of one tenant."""
+
+    __slots__ = ("spec", "metrics", "bucket", "backlog", "fds", "client", "drain_event")
+
+    def __init__(self, spec: TenantSpec, client: Client) -> None:
+        self.spec = spec
+        self.metrics = TenantMetrics(spec.name)
+        self.bucket: TokenBucket | None = (
+            TokenBucket(spec.qos.rate_limit_qps, spec.qos.burst)
+            if spec.qos.rate_limit_qps is not None
+            else None
+        )
+        #: Ops admitted by the client but not yet in the NVMe ring
+        #: (waiting on tokens or on ring space under the block policy).
+        self.backlog: deque[tuple[Op, float]] = deque()
+        self.fds: dict[str, int] = {}
+        self.client = client
+        #: Pending timer for a token-bucket retry (avoid duplicates).
+        self.drain_event = None
+
+
+class StorageServer:
+    """Drive one storage system from many concurrent tenants."""
+
+    def __init__(self, config: ServeConfig, sim_config: SimConfig | None = None) -> None:
+        self.config = config
+        self.system: StorageSystem = build_system(config.system, sim_config)
+        #: Retain finished root traces so each dispatched op's demand
+        #: can be read off its StageTrace (popped per op, stays empty).
+        self.system.tracer.retain = True
+        self.loop = EventLoop()
+        timing = self.system.config.timing
+        ssd = self.system.config.ssd
+        self._host_stage = FifoResource(
+            self.loop, timing.host_parallelism, name="host"
+        )
+        self._channel_stages = [
+            FifoResource(self.loop, name=f"channel:{index}")
+            for index in range(ssd.channels)
+        ]
+        self._pcie_stage = FifoResource(self.loop, name="pcie")
+        self.mq = MultiQueueNvme(config.arbitration)
+        self.inflight = 0
+        self.max_inflight_observed = 0
+        self._pumping = False
+        self._tenants: list[_TenantState] = []
+        self._by_name: dict[str, _TenantState] = {}
+        self._create_files()
+        for index, spec in enumerate(config.tenants):
+            state = _TenantState(spec, self._build_client(spec, index))
+            self._tenants.append(state)
+            self._by_name[spec.name] = state
+            self.mq.add_queue(spec.name, depth=spec.qos.queue_depth, weight=spec.qos.weight)
+            self._open_files(state)
+            state.client.bind(self.loop, self._make_submit(state))
+
+    # --- setup --------------------------------------------------------
+    def _create_files(self) -> None:
+        sizes: dict[str, int] = {}
+        for spec in self.config.tenants:
+            for file in spec.trace.files:
+                known = sizes.get(file.path)
+                if known is not None:
+                    if known != file.size:
+                        raise ValueError(
+                            f"file {file.path} declared with conflicting sizes "
+                            f"({known} vs {file.size})"
+                        )
+                    continue
+                sizes[file.path] = file.size
+                self.system.create_file(file.path, file.size)
+
+    def _open_files(self, state: _TenantState) -> None:
+        flags = O_RDWR | (O_FINE_GRAINED if self.config.fine_grained else 0)
+        for file in state.spec.trace.files:
+            state.fds[file.path] = self.system.open(file.path, flags)
+
+    def _build_client(self, spec: TenantSpec, index: int) -> Client:
+        if spec.mode == CLOSED:
+            return ClosedLoopClient(
+                spec.trace,
+                concurrency=spec.concurrency,
+                think_ns=spec.think_ns,
+                max_ops=spec.max_ops,
+            )
+        # Distinct, deterministic arrival stream per tenant.
+        seed = self.config.seed * 1_000_003 + index
+        return OpenLoopClient(
+            spec.trace, rate_qps=spec.rate_qps, seed=seed, max_ops=spec.max_ops
+        )
+
+    # --- submission path ----------------------------------------------
+    def _make_submit(self, state: _TenantState):
+        def submit(op: Op) -> None:
+            state.metrics.submitted += 1
+            state.backlog.append((op, self.loop.now_ns))
+            self._drain(state)
+
+        return submit
+
+    def _drain(self, state: _TenantState) -> None:
+        """Move backlog ops into the NVMe ring as QoS permits."""
+        queue = self.mq.queue(state.spec.name)
+        while state.backlog:
+            if queue.full:
+                if state.spec.qos.full_policy == SHED:
+                    op, _ = state.backlog.popleft()
+                    self._shed(state, op)
+                    continue
+                break  # block: re-drained when a ring slot frees
+            if state.bucket is not None:
+                ready_ns = state.bucket.take(self.loop.now_ns)
+                if ready_ns is not None:
+                    if state.drain_event is None:
+                        state.metrics.rate_delayed += 1
+                        state.drain_event = self.loop.schedule_at(
+                            ready_ns, lambda: self._drain_retry(state)
+                        )
+                    break
+            op, submit_ns = state.backlog.popleft()
+            queue.push((op, submit_ns))
+            state.metrics.admitted += 1
+        self._pump()
+
+    def _drain_retry(self, state: _TenantState) -> None:
+        state.drain_event = None
+        self._drain(state)
+
+    def _shed(self, state: _TenantState, op: Op) -> None:
+        """Reject one op (queue full, shed policy) with a typed error.
+
+        The client notification is deferred onto the loop: a closed-loop
+        client reacts to a shed by submitting its next op immediately,
+        and doing that synchronously would recurse drain->shed->submit
+        unboundedly when the ring stays full.
+        """
+        state.metrics.shed += 1
+        rejection = AdmissionRejected(state.spec.name, "submission queue full")
+        client = state.client
+        self.loop.schedule(0.0, lambda: client.on_rejected(op, rejection))
+
+    # --- dispatch path -------------------------------------------------
+    def _pump(self) -> None:
+        """Fetch from the rings while device slots are free.
+
+        Guarded against re-entry: ``_drain`` (called below when a fetch
+        frees a ring slot) ends with a ``_pump`` of its own, which must
+        no-op while this frame's while-loop is already fetching.
+        """
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while self.inflight < self.config.max_inflight:
+                fetched = self.mq.fetch()
+                if fetched is None:
+                    return
+                tenant, entry = fetched
+                state = self._by_name[tenant]
+                op, submit_ns = entry  # type: ignore[misc]
+                self.inflight += 1
+                if self.inflight > self.max_inflight_observed:
+                    self.max_inflight_observed = self.inflight
+                self._dispatch(state, op, submit_ns)
+                # Fetching freed a ring slot: blocked backlog may advance.
+                if state.backlog:
+                    self._drain(state)
+        finally:
+            self._pumping = False
+
+    def _dispatch(self, state: _TenantState, op: Op, submit_ns: float) -> None:
+        """Execute the op and replay its recorded demand on the stages."""
+        metrics = state.metrics
+        metrics.queue_delay.record(self.loop.now_ns - submit_ns)
+        fd = state.fds[op.path]
+        if isinstance(op, ReadOp):
+            self.system.read(fd, op.offset, op.size)
+            metrics.reads += 1
+            metrics.demanded_bytes += op.size
+        elif isinstance(op, WriteOp):
+            payload = (
+                op.payload()
+                if self.system.config.transfer_data
+                else b"\x00" * op.size
+            )
+            self.system.write(fd, op.offset, payload)
+            metrics.writes += 1
+        else:  # pragma: no cover - trace model is closed
+            raise TypeError(f"unknown op {op!r}")
+        trace = self.system.tracer.finished.pop()
+        demand = trace.demand()
+        channel = self._channel_stages[demand.channel % len(self._channel_stages)]
+        pcie = self._pcie_stage
+
+        def on_pcie(end_ns: float) -> None:
+            self._complete(state, op, submit_ns, end_ns)
+
+        def on_nand(_end_ns: float) -> None:
+            pcie.acquire(demand.pcie_ns, on_pcie)
+
+        def on_host(_end_ns: float) -> None:
+            channel.acquire(demand.nand_ns, on_nand)
+
+        self._host_stage.acquire(demand.host_ns, on_host)
+
+    def _complete(self, state: _TenantState, op: Op, submit_ns: float, end_ns: float) -> None:
+        metrics = state.metrics
+        metrics.completed += 1
+        metrics.latency.record(end_ns - submit_ns)
+        self.inflight -= 1
+        state.client.on_done(op, completed=True)
+        self._pump()
+
+    # --- run -----------------------------------------------------------
+    def run(self) -> ServeResult:
+        """Start every client, drain the loop, snapshot the metrics."""
+        for state in self._tenants:
+            state.client.start()
+        elapsed_ns = self.loop.run(self.config.max_time_ns)
+        return ServeResult(
+            system=self.config.system,
+            arbitration=self.config.arbitration,
+            elapsed_ns=elapsed_ns,
+            max_inflight_observed=self.max_inflight_observed,
+            events_processed=self.loop.processed,
+            tenants={
+                state.spec.name: state.metrics.snapshot(elapsed_ns)
+                for state in self._tenants
+            },
+        )
+
+
+def serve(config: ServeConfig, sim_config: SimConfig | None = None) -> ServeResult:
+    """Convenience one-shot: build a server, run it, return the result."""
+    return StorageServer(config, sim_config).run()
+
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "ServeConfig",
+    "StorageServer",
+    "TenantSpec",
+    "serve",
+]

@@ -7,12 +7,20 @@ per flash channel), PCIe (one link) — under a closed-loop queue-depth
 limit.  At depth 1 it reproduces serial latency; as depth grows, total
 time converges to the busiest stage's total work, validating the
 bottleneck model (see ``experiments/qd_sweep``).
+
+The timeline runs on the shared discrete-event engine
+(:class:`repro.serve.engine.EventLoop` + :class:`FifoResource`) — the
+same loop the multi-tenant serving layer schedules on — so there is
+exactly one event-ordering implementation to trust: requests are
+admitted in order as completions free closed-loop slots, and each stage
+serves in arrival order with deterministic tie-breaking.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
+
+from repro.serve.engine import EventLoop, FifoResource
 
 
 @dataclass(frozen=True)
@@ -75,59 +83,60 @@ class PipelineSimulator:
         """Simulate ``demands`` in order under the given queue depth."""
         if queue_depth <= 0:
             raise ValueError("queue_depth must be positive")
-        host_free = [0.0] * self.host_servers
-        channel_free = [0.0] * self.channels
-        pcie_free = 0.0
-        in_flight: list[float] = []  # completion-time heap
-        total_latency = 0.0
-        latencies: list[float] = []
-        host_busy = 0.0
-        nand_busy = 0.0
-        pcie_busy = 0.0
-        finish = 0.0
-
-        for demand in demands:
-            if len(in_flight) >= queue_depth:
-                admit = heapq.heappop(in_flight)
-            else:
-                admit = 0.0
-
-            # Host stage: earliest-free core.
-            core = min(range(self.host_servers), key=host_free.__getitem__)
-            start = max(admit, host_free[core])
-            end_host = start + demand.host_ns
-            host_free[core] = end_host
-            host_busy += demand.host_ns
-
-            # NAND stage on the request's channel.
-            channel = demand.channel % self.channels
-            start = max(end_host, channel_free[channel])
-            end_nand = start + demand.nand_ns
-            channel_free[channel] = end_nand
-            nand_busy += demand.nand_ns
-
-            # PCIe stage: single shared link.
-            start = max(end_nand, pcie_free)
-            end = start + demand.pcie_ns
-            pcie_free = end
-            pcie_busy += demand.pcie_ns
-
-            heapq.heappush(in_flight, end)
-            latency = end - admit
-            total_latency += latency
-            if keep_latencies:
-                latencies.append(latency)
-            finish = max(finish, end)
+        loop = EventLoop()
+        host = FifoResource(loop, self.host_servers, name="host")
+        channels = [
+            FifoResource(loop, name=f"channel:{index}") for index in range(self.channels)
+        ]
+        pcie = FifoResource(loop, name="pcie")
 
         count = len(demands)
+        state = {"next": 0, "total_latency": 0.0, "finish": 0.0}
+        #: Indexed by request so callers can zip against ``demands``
+        #: even though completions happen out of admission order.
+        latencies: list[float] = [0.0] * count if keep_latencies else []
+
+        def admit() -> None:
+            index = state["next"]
+            if index >= count:
+                return
+            state["next"] = index + 1
+            demand = demands[index]
+            admit_ns = loop.now_ns
+            channel = channels[demand.channel % self.channels]
+
+            def on_pcie(end_ns: float) -> None:
+                latency = end_ns - admit_ns
+                state["total_latency"] += latency
+                if keep_latencies:
+                    latencies[index] = latency
+                if end_ns > state["finish"]:
+                    state["finish"] = end_ns
+                admit()  # completion frees one closed-loop slot
+
+            def on_nand(_end_ns: float) -> None:
+                pcie.acquire(demand.pcie_ns, on_pcie)
+
+            def on_host(_end_ns: float) -> None:
+                channel.acquire(demand.nand_ns, on_nand)
+
+            host.acquire(demand.host_ns, on_host)
+
+        for _ in range(min(queue_depth, count)):
+            admit()
+        loop.run()
+
+        # Busy totals are input sums (service is work-conserving), so
+        # accumulate them in request order — bit-identical to what the
+        # demands themselves sum to, independent of service order.
         return QueueingResult(
             requests=count,
             queue_depth=queue_depth,
-            total_ns=finish,
-            mean_latency_ns=total_latency / count if count else 0.0,
-            host_busy_ns=host_busy,
-            nand_busy_ns=nand_busy,
-            pcie_busy_ns=pcie_busy,
+            total_ns=state["finish"],
+            mean_latency_ns=state["total_latency"] / count if count else 0.0,
+            host_busy_ns=sum(demand.host_ns for demand in demands),
+            nand_busy_ns=sum(demand.nand_ns for demand in demands),
+            pcie_busy_ns=sum(demand.pcie_ns for demand in demands),
             latencies_ns=latencies,
         )
 

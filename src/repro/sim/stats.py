@@ -1,7 +1,14 @@
-"""Counters used throughout the stack: hits/misses, traffic, events."""
+"""Counters used throughout the stack: hits/misses, traffic, events.
+
+Plus :class:`LatencyHistogram`, the tail-latency accumulator of the
+serving layer: exact percentiles (p50/p95/p99/p99.9) with merge
+support, complementing the log-bucketed approximate histograms of
+:mod:`repro.sim.latency` that the per-size Figure 8 view uses.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -105,6 +112,105 @@ class TrafficMeter:
         self.write_context = False
 
 
+class LatencyHistogram:
+    """Exact-percentile latency accumulator with merge support.
+
+    Samples are kept verbatim (nanoseconds) and sorted lazily, so
+    ``percentile`` is exact — no bucket rounding — which is what the
+    serving layer's p99.9 accounting needs: at production tail ratios
+    a log2 bucket is off by up to 2x.  ``merge`` combines shards
+    (per-tenant, per-worker) without losing exactness.
+    """
+
+    __slots__ = ("_samples", "_sorted", "total_ns")
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted = True
+        self.total_ns = 0.0
+
+    def record(self, latency_ns: float) -> None:
+        if not math.isfinite(latency_ns) or latency_ns < 0:
+            raise ValueError(f"invalid latency sample {latency_ns!r}")
+        if self._samples and latency_ns < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(latency_ns)
+        self.total_ns += latency_ns
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (returns self)."""
+        for sample in other._samples:
+            self.record(sample)
+        return self
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / len(self._samples) if self._samples else 0.0
+
+    @property
+    def min_ns(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def max_ns(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def _ensure_sorted(self) -> list[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def percentile(self, fraction: float) -> float:
+        """Exact nearest-rank percentile; 0.0 when empty.
+
+        ``fraction`` is in [0, 1]; the nearest-rank definition returns
+        the smallest sample such that at least ``fraction`` of all
+        samples are <= it (so ``percentile(1.0)`` is the maximum and a
+        single-sample histogram returns that sample everywhere).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        samples = self._ensure_sorted()
+        if not samples:
+            return 0.0
+        rank = max(1, math.ceil(fraction * len(samples)))
+        return samples[rank - 1]
+
+    @property
+    def p50_ns(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95_ns(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99_ns(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def p999_ns(self) -> float:
+        return self.percentile(0.999)
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary dict (stable key order) for reports and regression."""
+        return {
+            "count": float(self.count),
+            "mean_ns": self.mean_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "p50_ns": self.p50_ns,
+            "p95_ns": self.p95_ns,
+            "p99_ns": self.p99_ns,
+            "p999_ns": self.p999_ns,
+        }
+
+
 @dataclass
 class StatRegistry:
     """A loose bag of named counters for ad-hoc instrumentation."""
@@ -130,4 +236,10 @@ class StatRegistry:
         return {name: counter.value for name, counter in sorted(self.counters.items())}
 
 
-__all__ = ["Counter", "HitMissCounter", "StatRegistry", "TrafficMeter"]
+__all__ = [
+    "Counter",
+    "HitMissCounter",
+    "LatencyHistogram",
+    "StatRegistry",
+    "TrafficMeter",
+]

@@ -75,6 +75,28 @@ def test_package_scoping_exempts_non_sim_packages() -> None:
     assert lint_source(source, "scripts/thing.py")
 
 
+def test_serve_package_is_in_simulator_scope() -> None:
+    # The serving layer runs on the virtual timeline: the scoped
+    # discipline rules (stage charging, deterministic iteration) apply
+    # to it exactly as to the simulator core.
+    charging = "def f(resources, ns):\n    return resources.host(ns)\n"
+    assert lint_source(charging, "src/repro/serve/thing.py")
+    iteration = "def f(tenants):\n    for t in set(tenants):\n        pass\n"
+    findings = lint_source(iteration, "src/repro/serve/thing.py")
+    assert "deterministic-iteration" in {f.rule for f in findings}
+
+
+def test_serve_package_globals_still_enforced() -> None:
+    # The global rules were never scoped; a wall-clock read or an
+    # unseeded RNG in the serving layer is flagged like anywhere else.
+    source = "import time\n\ndef f():\n    return time.time()\n"
+    findings = lint_source(source, "src/repro/serve/thing.py")
+    assert {f.rule for f in findings} == {"virtual-time-purity"}
+    source = "import random\n\ndef f():\n    return random.random()\n"
+    findings = lint_source(source, "src/repro/serve/thing.py")
+    assert "seeded-rng-only" in {f.rule for f in findings}
+
+
 def test_clock_advance_allowed_in_tracer_routing_module() -> None:
     source = (
         "from repro.sim.trace import Tracer\n"

@@ -1,0 +1,125 @@
+"""Tests for closed- and open-loop client generators."""
+
+import pytest
+
+from repro.serve.clients import ClosedLoopClient, OpenLoopClient
+from repro.serve.engine import EventLoop
+from repro.workloads.trace import FileSpec, ReadOp, Trace
+
+
+def _trace(count=100):
+    ops = [ReadOp("/f", index * 128, 128) for index in range(count)]
+    return Trace(name="unit", files=[FileSpec("/f", 1 << 20)], build_ops=lambda: ops)
+
+
+class _Recorder:
+    """Collects (time, op) submissions and optionally auto-completes."""
+
+    def __init__(self, loop, client=None, service_ns=0.0):
+        self.loop = loop
+        self.client = client
+        self.service_ns = service_ns
+        self.submissions = []
+
+    def submit(self, op):
+        self.submissions.append((self.loop.now_ns, op))
+        if self.client is not None:
+            self.loop.schedule(
+                self.service_ns, lambda: self.client.on_done(op, completed=True)
+            )
+
+
+def test_closed_loop_keeps_concurrency_outstanding():
+    loop = EventLoop()
+    client = ClosedLoopClient(_trace(10), concurrency=3)
+    recorder = _Recorder(loop, client, service_ns=5.0)
+    client.bind(loop, recorder.submit)
+    client.start()
+    assert len(recorder.submissions) == 3  # the initial window
+    loop.run()
+    assert len(recorder.submissions) == 10
+    assert client.issued == 10
+    assert client.exhausted
+
+
+def test_closed_loop_think_time_spaces_submissions():
+    loop = EventLoop()
+    client = ClosedLoopClient(_trace(4), concurrency=1, think_ns=100.0)
+    recorder = _Recorder(loop, client, service_ns=10.0)
+    client.bind(loop, recorder.submit)
+    client.start()
+    loop.run()
+    times = [time for time, _ in recorder.submissions]
+    assert times == [0.0, 110.0, 220.0, 330.0]
+
+
+def test_closed_loop_max_ops_truncates_the_trace():
+    loop = EventLoop()
+    client = ClosedLoopClient(_trace(100), concurrency=2, max_ops=5)
+    recorder = _Recorder(loop, client)
+    client.bind(loop, recorder.submit)
+    client.start()
+    loop.run()
+    assert len(recorder.submissions) == 5
+
+
+def test_closed_loop_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ClosedLoopClient(_trace(), concurrency=0)
+    with pytest.raises(ValueError):
+        ClosedLoopClient(_trace(), think_ns=-1.0)
+    with pytest.raises(ValueError):
+        ClosedLoopClient(_trace(), max_ops=0)
+
+
+def test_rejection_defaults_to_continuing_the_loop():
+    loop = EventLoop()
+    client = ClosedLoopClient(_trace(3), concurrency=1)
+    recorder = _Recorder(loop)
+    client.bind(loop, recorder.submit)
+    client.start()
+    # Shed the first op: the client must issue the next one anyway.
+    client.on_rejected(recorder.submissions[0][1], RuntimeError("full"))
+    loop.run()
+    assert len(recorder.submissions) == 2
+
+
+def test_open_loop_submits_regardless_of_completions():
+    loop = EventLoop()
+    client = OpenLoopClient(_trace(50), rate_qps=1e6, seed=7)
+    recorder = _Recorder(loop)  # never calls on_done
+    client.bind(loop, recorder.submit)
+    client.start()
+    loop.run()
+    assert len(recorder.submissions) == 50
+
+
+def test_open_loop_arrivals_are_seed_deterministic():
+    def arrival_times(seed):
+        loop = EventLoop()
+        client = OpenLoopClient(_trace(30), rate_qps=1e5, seed=seed)
+        recorder = _Recorder(loop)
+        client.bind(loop, recorder.submit)
+        client.start()
+        loop.run()
+        return [time for time, _ in recorder.submissions]
+
+    assert arrival_times(7) == arrival_times(7)
+    assert arrival_times(7) != arrival_times(8)
+
+
+def test_open_loop_mean_rate_approaches_offered_rate():
+    loop = EventLoop()
+    count = 2000
+    client = OpenLoopClient(_trace(count), rate_qps=1e6, seed=42)
+    recorder = _Recorder(loop)
+    client.bind(loop, recorder.submit)
+    client.start()
+    end_ns = loop.run()
+    achieved = count / (end_ns / 1e9)
+    assert achieved == pytest.approx(1e6, rel=0.1)
+
+
+def test_open_loop_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        OpenLoopClient(_trace(), rate_qps=0.0, seed=1)

@@ -1,0 +1,151 @@
+"""Tests for the virtual-time event loop and FIFO resources."""
+
+import math
+
+import pytest
+
+from repro.serve.engine import EventLoop, FifoResource
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(30.0, lambda: seen.append("c"))
+    loop.schedule(10.0, lambda: seen.append("a"))
+    loop.schedule(20.0, lambda: seen.append("b"))
+    end = loop.run()
+    assert seen == ["a", "b", "c"]
+    assert end == 30.0
+    assert loop.processed == 3
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    loop = EventLoop()
+    seen = []
+    for tag in range(5):
+        loop.schedule(7.0, lambda tag=tag: seen.append(tag))
+    loop.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_callbacks_observe_their_own_timestamp():
+    loop = EventLoop()
+    stamps = []
+    loop.schedule(5.0, lambda: stamps.append(loop.now_ns))
+    loop.schedule(9.0, lambda: stamps.append(loop.now_ns))
+    loop.run()
+    assert stamps == [5.0, 9.0]
+
+
+def test_callbacks_may_schedule_more_events():
+    loop = EventLoop()
+    seen = []
+
+    def chain(depth):
+        seen.append(loop.now_ns)
+        if depth:
+            loop.schedule(1.0, lambda: chain(depth - 1))
+
+    loop.schedule(0.0, lambda: chain(3))
+    loop.run()
+    assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_schedule_rejects_bad_delays():
+    loop = EventLoop()
+    for delay in (-1.0, math.nan, math.inf):
+        with pytest.raises(ValueError):
+            loop.schedule(delay, lambda: None)
+
+
+def test_schedule_at_rejects_the_past():
+    loop = EventLoop()
+    loop.schedule(10.0, lambda: loop.schedule_at(5.0, lambda: None))
+    with pytest.raises(ValueError):
+        loop.run()
+
+
+def test_loop_rejects_bad_start():
+    with pytest.raises(ValueError):
+        EventLoop(start_ns=-1.0)
+    with pytest.raises(ValueError):
+        EventLoop(start_ns=math.nan)
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    seen = []
+    event = loop.schedule(5.0, lambda: seen.append("cancelled"))
+    loop.schedule(6.0, lambda: seen.append("kept"))
+    event.cancel()
+    loop.run()
+    assert seen == ["kept"]
+    assert len(loop) == 0
+
+
+def test_run_until_parks_clock_at_horizon():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(10.0, lambda: seen.append("early"))
+    loop.schedule(100.0, lambda: seen.append("late"))
+    end = loop.run(until_ns=50.0)
+    assert seen == ["early"]
+    assert end == 50.0
+    assert loop.now_ns == 50.0
+    # The late event is still pending and fires on a later run.
+    loop.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_rejects_past_horizon():
+    loop = EventLoop()
+    loop.schedule(10.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.run(until_ns=5.0)
+
+
+def test_fifo_resource_serves_in_arrival_order():
+    loop = EventLoop()
+    resource = FifoResource(loop, 1, name="x")
+    ends = []
+    resource.acquire(10.0, lambda end: ends.append(("a", end)))
+    resource.acquire(5.0, lambda end: ends.append(("b", end)))
+    resource.acquire(1.0, lambda end: ends.append(("c", end)))
+    assert resource.in_service == 1
+    assert resource.queued == 2
+    loop.run()
+    assert ends == [("a", 10.0), ("b", 15.0), ("c", 16.0)]
+    assert resource.busy_ns == 16.0
+    assert resource.served == 3
+
+
+def test_fifo_resource_runs_servers_in_parallel():
+    loop = EventLoop()
+    resource = FifoResource(loop, 2)
+    ends = []
+    resource.acquire(10.0, lambda end: ends.append(end))
+    resource.acquire(10.0, lambda end: ends.append(end))
+    resource.acquire(10.0, lambda end: ends.append(end))
+    loop.run()
+    # Two start at t=0; the third waits for the first free server.
+    assert ends == [10.0, 10.0, 20.0]
+
+
+def test_fifo_resource_rejects_bad_service_times():
+    loop = EventLoop()
+    resource = FifoResource(loop)
+    for service in (-1.0, math.nan, math.inf):
+        with pytest.raises(ValueError):
+            resource.acquire(service, lambda end: None)
+    with pytest.raises(ValueError):
+        FifoResource(loop, 0)
+
+
+def test_zero_service_completes_at_current_time():
+    loop = EventLoop()
+    resource = FifoResource(loop)
+    ends = []
+    resource.acquire(0.0, lambda end: ends.append(end))
+    loop.run()
+    assert ends == [0.0]

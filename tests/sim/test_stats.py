@@ -1,8 +1,16 @@
-"""Tests for counters and the traffic meter."""
+"""Tests for counters, the traffic meter, and the latency histogram."""
+
+import math
 
 import pytest
 
-from repro.sim.stats import Counter, HitMissCounter, StatRegistry, TrafficMeter
+from repro.sim.stats import (
+    Counter,
+    HitMissCounter,
+    LatencyHistogram,
+    StatRegistry,
+    TrafficMeter,
+)
 
 
 def test_counter_increments():
@@ -84,3 +92,84 @@ def test_registry_fetch_or_create():
     assert registry.value("a") == 3
     assert registry.value("missing") == 0
     assert registry.snapshot() == {"a": 3, "b": 1}
+
+
+# --- LatencyHistogram -------------------------------------------------
+
+
+def test_histogram_empty_is_all_zero():
+    histogram = LatencyHistogram()
+    assert histogram.count == 0
+    assert histogram.mean_ns == 0.0
+    assert histogram.min_ns == 0.0
+    assert histogram.max_ns == 0.0
+    assert histogram.p50_ns == 0.0
+    assert histogram.p999_ns == 0.0
+    assert histogram.percentile(1.0) == 0.0
+
+
+def test_histogram_single_sample_is_every_percentile():
+    histogram = LatencyHistogram()
+    histogram.record(123.0)
+    assert histogram.count == 1
+    assert histogram.mean_ns == 123.0
+    for fraction in (0.0, 0.5, 0.95, 0.99, 0.999, 1.0):
+        assert histogram.percentile(fraction) == 123.0
+
+
+def test_histogram_exact_percentiles():
+    histogram = LatencyHistogram()
+    for sample in range(100, 0, -1):  # reverse order exercises lazy sort
+        histogram.record(float(sample))
+    assert histogram.p50_ns == 50.0
+    assert histogram.p95_ns == 95.0
+    assert histogram.p99_ns == 99.0
+    assert histogram.p999_ns == 100.0
+    assert histogram.percentile(1.0) == histogram.max_ns == 100.0
+    assert histogram.min_ns == 1.0
+    assert histogram.mean_ns == pytest.approx(50.5)
+
+
+def test_histogram_merge_is_exact():
+    left, right = LatencyHistogram(), LatencyHistogram()
+    for sample in (5.0, 1.0, 9.0):
+        left.record(sample)
+    for sample in (2.0, 7.0):
+        right.record(sample)
+    combined = LatencyHistogram()
+    combined.merge(left).merge(right)
+    assert combined.count == 5
+    assert combined.p50_ns == 5.0
+    assert combined.max_ns == 9.0
+    assert combined.total_ns == pytest.approx(24.0)
+    # Merging does not disturb the sources.
+    assert left.count == 3 and right.count == 2
+
+
+def test_histogram_merge_empty_is_noop():
+    histogram = LatencyHistogram()
+    histogram.record(4.0)
+    histogram.merge(LatencyHistogram())
+    assert histogram.count == 1
+    assert histogram.p50_ns == 4.0
+
+
+def test_histogram_rejects_bad_samples():
+    histogram = LatencyHistogram()
+    for bad in (-1.0, math.nan, math.inf):
+        with pytest.raises(ValueError):
+            histogram.record(bad)
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_histogram_snapshot_has_stable_keys():
+    histogram = LatencyHistogram()
+    histogram.record(10.0)
+    histogram.record(20.0)
+    first = histogram.snapshot()
+    second = histogram.snapshot()
+    assert list(first) == list(second)  # stable key order, run to run
+    assert first["count"] == 2.0
+    assert first["p50_ns"] == 10.0
+    assert first["max_ns"] == 20.0

@@ -27,3 +27,7 @@ def test_example_runs(script):
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "examples must print their findings"
+    if script.name == "social_graph_server.py":
+        # The example also drives the multi-tenant serving layer.
+        assert "Two tenants on one Pipette" in completed.stdout
+        assert "frontend" in completed.stdout and "crawler" in completed.stdout
