@@ -31,3 +31,54 @@ def results_dir() -> pathlib.Path:
 
 def save_report(results_dir: pathlib.Path, name: str, report: str) -> None:
     (results_dir / f"{name}.txt").write_text(report + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    """Report the flow-aware simlint engine's cost on the full tree.
+
+    Per-rule walk time over ``src/repro`` (parse + flow analysis are
+    measured separately) so a regression in the symbol-table or
+    call-graph machinery shows up in bench output, not just as a slower
+    CI lint job.
+    """
+    import time
+
+    from repro.lint.context import ModuleContext
+    from repro.lint.engine import iter_python_files
+    from repro.lint.rules.base import RULES
+
+    src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    if not src.is_dir():
+        return
+
+    # Wall-clock here measures the lint engine itself, not simulated
+    # behaviour.
+    started = time.perf_counter()  # simlint: allow[virtual-time-purity]
+    contexts = []
+    for path in iter_python_files([src]):
+        try:
+            contexts.append(ModuleContext.parse(str(path), path.read_text()))
+        except SyntaxError:
+            continue
+    index = {ctx.module_name: ctx.flow.summaries for ctx in contexts}
+    for ctx in contexts:
+        ctx.flow.package_index = index
+    flow_s = time.perf_counter() - started  # simlint: allow[virtual-time-purity]
+
+    rule_times: list[tuple[str, float]] = []
+    for rule_id, rule in sorted(RULES.items()):
+        began = time.perf_counter()  # simlint: allow[virtual-time-purity]
+        for ctx in contexts:
+            list(rule.check(ctx))
+        rule_times.append((rule_id, time.perf_counter() - began))  # simlint: allow[virtual-time-purity]
+
+    writer = terminalreporter
+    writer.section("simlint rule-walk time (src/repro)")
+    writer.write_line(
+        f"parse + flow analysis + package index: {flow_s * 1000:.1f} ms "
+        f"({len(contexts)} modules)"
+    )
+    for rule_id, elapsed in sorted(rule_times, key=lambda item: -item[1]):
+        writer.write_line(f"  {rule_id:<28} {elapsed * 1000:7.1f} ms")
+    total = flow_s + sum(elapsed for _, elapsed in rule_times)
+    writer.write_line(f"  {'total':<28} {total * 1000:7.1f} ms")

@@ -105,7 +105,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="append every rendered report to FILE as well as stdout",
     )
+    parser.add_argument(
+        "--racecheck",
+        action="store_true",
+        help="attach the happens-before race checker to every serving "
+        "run and add the tie-break perturbation pass (also: "
+        "REPRO_RACECHECK=1)",
+    )
     args = parser.parse_args(argv)
+
+    if args.racecheck:
+        from repro.sim import racecheck
+
+        racecheck.enable()
 
     if args.list:
         for name in ALL_ORDER:

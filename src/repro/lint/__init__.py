@@ -4,17 +4,26 @@ The reproduction's central claim — results are a deterministic function
 of config + seed on a virtual clock — is a *discipline*, not a language
 feature.  This package makes the discipline machine-checked:
 
-- :mod:`repro.lint.rules` hold the five domain rules
+- :mod:`repro.lint.rules` hold the eight domain rules
   (``virtual-time-purity``, ``seeded-rng-only``, ``stage-charging``,
-  ``unit-suffix-consistency``, ``deterministic-iteration``);
+  ``unit-suffix-consistency``, ``deterministic-iteration``,
+  ``shared-state-mutation``, ``float-time-equality``,
+  ``event-tiebreak-dependence``);
+- :mod:`repro.lint.flow` is the flow analysis behind the alias-aware
+  rules: per-module kind/alias tracking plus function summaries a
+  shared package index resolves across files;
 - :mod:`repro.lint.engine` runs them over a file tree, honouring
-  ``# simlint: allow[rule]`` suppressions;
+  ``# simlint: allow[rule]`` suppressions and reporting allow comments
+  that excuse nothing as ``unused-suppression``;
 - :mod:`repro.lint.baseline` grandfathers pre-existing findings;
 - ``python -m repro.lint`` is the CLI that CI gates on.
 
-The static rules are paired with a *runtime* sanitizer
-(:mod:`repro.sim.sanitize`, ``REPRO_SANITIZE=1``) asserting per-request
-trace invariants the AST cannot see.  See ``docs/LINTING.md``.
+The static rules are paired with *runtime* checkers the AST cannot
+replace: the sanitizer (:mod:`repro.sim.sanitize`, ``REPRO_SANITIZE=1``)
+asserting per-request trace invariants, and the happens-before race
+detector (:mod:`repro.sim.racecheck`, ``REPRO_RACECHECK=1``) flagging
+order-dependent same-timestamp accesses to shared serving state.  See
+``docs/LINTING.md``.
 """
 
 from repro.lint.engine import lint_file, lint_source, run

@@ -35,14 +35,19 @@ def load(path: str | Path) -> Baseline:
     }
 
 
+def save(baseline: Baseline, path: str | Path) -> None:
+    """Write ``baseline`` to ``path`` in the canonical on-disk form."""
+    payload = {"version": VERSION, "findings": baseline}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def dump(findings: Iterable[Finding], path: str | Path) -> Baseline:
     """Write the baseline that grandfathers exactly ``findings``."""
     baseline: Baseline = {}
     for finding in findings:
         rules = baseline.setdefault(finding.path, {})
         rules[finding.rule] = rules.get(finding.rule, 0) + 1
-    payload = {"version": VERSION, "findings": baseline}
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    save(baseline, path)
     return baseline
 
 
@@ -73,4 +78,24 @@ def apply(
     return reported, stale
 
 
-__all__ = ["Baseline", "VERSION", "apply", "dump", "load"]
+def prune(baseline: Baseline, stale: list[tuple[str, str, int]]) -> Baseline:
+    """Ratchet the baseline down: subtract unused budget, drop empties.
+
+    ``stale`` is :func:`apply`'s second return value — per (path, rule)
+    the budget no current finding consumed.  The result grandfathers
+    exactly the violations that still exist.
+    """
+    pruned = {path: dict(rules) for path, rules in baseline.items()}
+    for path, rule, unused in stale:
+        rules = pruned.get(path)
+        if rules is None or rule not in rules:
+            continue
+        rules[rule] -= unused
+        if rules[rule] <= 0:
+            del rules[rule]
+        if not rules:
+            del pruned[path]
+    return pruned
+
+
+__all__ = ["Baseline", "VERSION", "apply", "dump", "load", "prune", "save"]

@@ -8,15 +8,53 @@ catalogue and the suppression/baseline workflow.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.lint import baseline as baseline_mod
 from repro.lint.engine import run
+from repro.lint.findings import Finding
 from repro.lint.rules.base import RULES
 
 #: Default baseline location, picked up when it exists in the cwd.
 DEFAULT_BASELINE = "simlint-baseline.json"
+
+#: CLI output modes.
+FORMATS = ("text", "json", "github")
+
+
+def _emit_text(findings: list[Finding], quiet: bool) -> None:
+    if quiet:
+        return
+    for finding in findings:
+        print(finding.render())
+
+
+def _emit_json(findings: list[Finding], stale: list[tuple[str, str, int]]) -> None:
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+        "stale_baseline": [
+            {"path": path, "rule": rule, "unused": count} for path, rule, count in stale
+        ],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _emit_github(findings: list[Finding], stale: list[tuple[str, str, int]]) -> None:
+    """GitHub Actions workflow commands: inline PR annotations."""
+    for finding in findings:
+        location = f"file={finding.path},line={finding.line}"
+        if finding.end_line is not None and finding.end_line > finding.line:
+            location += f",endLine={finding.end_line}"
+        print(f"::error {location},title=simlint[{finding.rule}]::{finding.message}")
+    for path, rule, count in stale:
+        print(
+            f"::warning file={path},title=simlint[baseline]::stale baseline "
+            f"entry [{rule}] x{count} — the violations are gone; remove it"
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,6 +89,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write the current findings to the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="prune stale entries from the existing baseline file "
+        "(warning per pruned entry); new findings are still reported",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output mode: text (default), json, or github (inline "
+        "::error annotations for CI)",
+    )
     parser.add_argument("--list-rules", action="store_true", help="list rule ids and exit")
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the per-finding lines"
@@ -81,21 +132,58 @@ def main(argv: list[str] | None = None) -> int:
         print(f"simlint: wrote {len(findings)} finding(s) to {baseline_path}")
         return 0
 
+    if args.update_baseline:
+        if not baseline_path.exists():
+            print(
+                f"simlint: no baseline at {baseline_path} to update "
+                "(use --write-baseline to create one)",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = baseline_mod.load(baseline_path)
+        findings, stale = baseline_mod.apply(findings, baseline)
+        pruned = baseline_mod.prune(baseline, stale)
+        baseline_mod.save(pruned, baseline_path)
+        for path, rule, count in stale:
+            print(
+                f"simlint: pruned stale baseline entry {path} [{rule}] x{count}",
+                file=sys.stderr,
+            )
+        print(
+            f"simlint: baseline {baseline_path} updated "
+            f"({len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'} pruned)"
+        )
+        if findings:
+            for finding in findings:
+                print(finding.render())
+            print(
+                f"simlint: {len(findings)} new finding(s) not grandfathered — "
+                "fix or suppress them",
+                file=sys.stderr,
+            )
+        return 1 if findings else 0
+
     stale: list[tuple[str, str, int]] = []
     if not args.no_baseline and baseline_path.exists():
         findings, stale = baseline_mod.apply(findings, baseline_mod.load(baseline_path))
 
-    if not args.quiet:
-        for finding in findings:
-            print(finding.render())
-    for path, rule, count in stale:
-        print(
-            f"simlint: stale baseline entry {path} [{rule}] x{count} — "
-            "the violations are gone; remove it",
-            file=sys.stderr,
-        )
+    if args.format == "json":
+        _emit_json(findings, stale)
+    elif args.format == "github":
+        _emit_github(findings, stale)
+    else:
+        _emit_text(findings, args.quiet)
+        for path, rule, count in stale:
+            print(
+                f"simlint: stale baseline entry {path} [{rule}] x{count} — "
+                "the violations are gone; remove it",
+                file=sys.stderr,
+            )
     checked = ", ".join(str(p) for p in args.paths)
-    print(f"simlint: {len(findings)} finding(s) in {checked}")
+    # Keep machine-readable stdout clean: the summary goes to stderr
+    # for the json/github formats.
+    summary_stream = sys.stdout if args.format == "text" else sys.stderr
+    print(f"simlint: {len(findings)} finding(s) in {checked}", file=summary_stream)
     return 1 if findings else 0
 
 

@@ -5,6 +5,17 @@ once, hands the shared :class:`ModuleContext` to every applicable rule,
 and drops findings the source explicitly allows (``# simlint:
 allow[rule]``).  Baseline filtering is a separate, optional step
 (:mod:`repro.lint.baseline`) so programmatic callers see the raw truth.
+
+Directory runs are two-phase: every file is parsed first and the
+per-module flow analyses (:mod:`repro.lint.flow`) share one package
+index, so the alias-aware rules resolve ``from pkg.helpers import f``
+call sites across files.  Single-source entry points (``lint_source``)
+stay intra-module.
+
+When the full rule set runs, allow comments that excused nothing are
+reported as ``unused-suppression`` findings; under ``--rule`` filters
+the check is skipped (a suppression may target a rule that was not
+run).
 """
 
 from __future__ import annotations
@@ -21,6 +32,9 @@ from repro.lint.suppressions import SuppressionIndex
 
 #: Pseudo-rule id for files the parser rejects.
 SYNTAX_ERROR = "syntax-error"
+
+#: Pseudo-rule id for allow comments that excused no finding.
+UNUSED_SUPPRESSION = "unused-suppression"
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
 
@@ -48,6 +62,33 @@ def _report_path(path: Path) -> str:
         return path.as_posix()
 
 
+def _lint_context(
+    ctx: ModuleContext, rules: Iterable[Rule], *, report_unused: bool
+) -> list[Finding]:
+    suppressions = SuppressionIndex.from_source(ctx.source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.allows(finding.line, finding.rule, finding.span_end):
+                findings.append(finding)
+    if report_unused:
+        for line, rule_name in suppressions.unused():
+            finding = Finding(
+                path=ctx.path,
+                line=line,
+                rule=UNUSED_SUPPRESSION,
+                message=(
+                    f"allow[{rule_name}] suppresses nothing; remove the stale "
+                    "exemption (or fix the rule id)"
+                ),
+            )
+            if not suppressions.allows(finding.line, finding.rule):
+                findings.append(finding)
+    return findings
+
+
 def lint_source(
     source: str, path: str = "<string>", *, rules: Iterable[Rule] | None = None
 ) -> list[Finding]:
@@ -57,15 +98,7 @@ def lint_source(
     except SyntaxError as exc:
         return [Finding(path=path, line=exc.lineno or 1, rule=SYNTAX_ERROR, message=str(exc))]
     selected = list(rules) if rules is not None else list(RULES.values())
-    suppressions = SuppressionIndex(ctx.lines)
-    findings: list[Finding] = []
-    for rule in selected:
-        if not rule.applies_to(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if not suppressions.allows(finding.line, finding.rule):
-                findings.append(finding)
-    return sort_findings(findings)
+    return sort_findings(_lint_context(ctx, selected, report_unused=rules is None))
 
 
 def lint_file(path: str | Path, *, rules: Iterable[Rule] | None = None) -> list[Finding]:
@@ -84,9 +117,31 @@ def run(
             raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
         selected = [RULES[rule_id] for rule_id in rule_ids]
     findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
     for file in iter_python_files(paths):
-        findings.extend(lint_file(file, rules=selected))
+        report_path = _report_path(file)
+        try:
+            contexts.append(ModuleContext.parse(report_path, file.read_text()))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(path=report_path, line=exc.lineno or 1, rule=SYNTAX_ERROR, message=str(exc))
+            )
+    # Phase 2: share one package index so cross-module call sites
+    # resolve against every sibling's function summaries.
+    index = {ctx.module_name: ctx.flow.summaries for ctx in contexts}
+    for ctx in contexts:
+        ctx.flow.package_index = index
+    rules = selected if selected is not None else list(RULES.values())
+    for ctx in contexts:
+        findings.extend(_lint_context(ctx, rules, report_unused=selected is None))
     return sort_findings(findings)
 
 
-__all__ = ["SYNTAX_ERROR", "iter_python_files", "lint_file", "lint_source", "run"]
+__all__ = [
+    "SYNTAX_ERROR",
+    "UNUSED_SUPPRESSION",
+    "iter_python_files",
+    "lint_file",
+    "lint_source",
+    "run",
+]

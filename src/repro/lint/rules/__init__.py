@@ -6,6 +6,7 @@ the same ``@register`` decorator before invoking the engine.
 """
 
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    concurrency,
     determinism,
     rng,
     stage_charging,

@@ -38,7 +38,13 @@ class Rule:
         raise NotImplementedError
 
     def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
-        return Finding(path=ctx.path, line=node.lineno, rule=self.id, message=message)
+        return Finding(
+            path=ctx.path,
+            line=node.lineno,
+            rule=self.id,
+            message=message,
+            end_line=getattr(node, "end_lineno", None),
+        )
 
 
 def register(rule_cls: type[Rule]) -> type[Rule]:

@@ -6,15 +6,22 @@ workload, so "same config + seed" stops meaning "same results".  The
 rule requires each component to own a ``random.Random(seed)`` (or
 ``numpy.random.default_rng(seed)``) instance plumbed from its config —
 see ``CacheConfig.rng_seed`` and ``*WorkloadConfig.seed``.
+
+The rule is flow-aware (:mod:`repro.lint.flow`): rebinding the module
+(``r = random; r.random()``) or handing it to a helper whose summary
+draws from its parameter (``jitter(random)``) is flagged exactly like
+the literal chain.  Seeded ``random.Random(seed)`` *instances* flow
+freely — only the global module streams are rejected.
 """
 
 from __future__ import annotations
 
 import ast
 
+from repro.lint import flow
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
-from repro.lint.rules.base import Rule, attr_chain, module_aliases, register
+from repro.lint.rules.base import Rule, register
 
 #: ``random``-module attributes that are fine to reference: the seeded
 #: generator class and the distribution types it exposes.
@@ -22,6 +29,13 @@ ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
 
 #: numpy.random constructors that accept an explicit seed.
 ALLOWED_NUMPY_ATTRS = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+
+def _describe(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
 
 
 @register
@@ -36,8 +50,7 @@ class SeededRngOnly(Rule):
 
     def check(self, ctx: ModuleContext) -> list[Finding]:
         findings: list[Finding] = []
-        random_aliases = module_aliases(ctx.tree, "random")
-        numpy_aliases = module_aliases(ctx.tree, "numpy", "numpy.random")
+        analysis = ctx.flow
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
                 for item in node.names:
@@ -52,56 +65,78 @@ class SeededRngOnly(Rule):
                         )
             if not isinstance(node, ast.Call):
                 continue
-            chain = attr_chain(node.func)
-            if chain is None or len(chain) < 2:
+            if isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                leaf = node.func.attr
+                kinds = analysis.kinds(receiver)
+                call_text = f"{_describe(receiver)}.{leaf}"
+                if flow.RANDOM_MODULE in kinds:
+                    if leaf == "Random":
+                        if not node.args and not node.keywords:
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    "unseeded random.Random(); pass an explicit "
+                                    "seed plumbed from config",
+                                )
+                            )
+                    elif leaf == "SystemRandom":
+                        findings.append(
+                            self.finding(
+                                ctx, node, "random.SystemRandom is never reproducible"
+                            )
+                        )
+                    elif leaf not in ALLOWED_RANDOM_ATTRS:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"global-stream call `{call_text}()`; use an "
+                                "injected random.Random(seed)",
+                            )
+                        )
+                    continue
+                if flow.NUMPY_RANDOM_MODULE in kinds:
+                    if leaf in ALLOWED_NUMPY_ATTRS:
+                        if leaf == "default_rng" and not node.args and not node.keywords:
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    "unseeded numpy default_rng(); pass an explicit seed",
+                                )
+                            )
+                    else:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"legacy numpy global-stream call `{call_text}()`; "
+                                "use numpy.random.default_rng(seed)",
+                            )
+                        )
+                    continue
+            resolved = analysis.callee_summary(node)
+            if resolved is None:
                 continue
-            root, leaf = chain[0], chain[-1]
-            if root in random_aliases and len(chain) == 2:
-                if leaf == "Random":
-                    if not node.args and not node.keywords:
-                        findings.append(
-                            self.finding(
-                                ctx,
-                                node,
-                                "unseeded random.Random(); pass an explicit "
-                                "seed plumbed from config",
-                            )
-                        )
-                elif leaf == "SystemRandom":
-                    findings.append(
-                        self.finding(
-                            ctx, node, "random.SystemRandom is never reproducible"
-                        )
-                    )
-                else:
+            summary, skip = resolved
+            for arg, param in flow.map_call_args(node, summary, skip):
+                tags = summary.sinks.get(param)
+                if not tags or flow.SINK_RNG_DRAW not in tags:
+                    continue
+                if flow.RANDOM_MODULE in analysis.kinds(arg):
                     findings.append(
                         self.finding(
                             ctx,
                             node,
-                            f"global-stream call `{'.'.join(chain)}()`; use an "
-                            "injected random.Random(seed)",
+                            f"`{summary.name}()` draws from its `{param}` parameter; "
+                            "passing the global `random` module makes it a hidden "
+                            "global stream — inject a random.Random(seed) instance",
                         )
                     )
-            elif root in numpy_aliases and len(chain) >= 2 and "random" in chain[:-1]:
-                if leaf in ALLOWED_NUMPY_ATTRS:
-                    if leaf == "default_rng" and not node.args and not node.keywords:
-                        findings.append(
-                            self.finding(
-                                ctx,
-                                node,
-                                "unseeded numpy default_rng(); pass an explicit seed",
-                            )
-                        )
-                else:
-                    findings.append(
-                        self.finding(
-                            ctx,
-                            node,
-                            f"legacy numpy global-stream call `{'.'.join(chain)}()`; "
-                            "use numpy.random.default_rng(seed)",
-                        )
-                    )
+                    break
         return findings
 
 
-__all__ = ["SeededRngOnly"]
+__all__ = ["ALLOWED_NUMPY_ATTRS", "ALLOWED_RANDOM_ATTRS", "SeededRngOnly"]

@@ -40,17 +40,26 @@ from repro.serve.qos import AdmissionRejected, TenantQoS, TokenBucket
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from repro.serve.clients import Client, ClosedLoopClient, OpenLoopClient
-    from repro.serve.server import ServeConfig, StorageServer, TenantSpec, serve
+    from repro.serve.server import (
+        PerturbationReport,
+        ServeConfig,
+        StorageServer,
+        TenantSpec,
+        serve,
+        serve_perturbed,
+    )
 
 #: Lazily resolved attributes -> defining submodule.
 _LAZY = {
     "Client": "repro.serve.clients",
     "ClosedLoopClient": "repro.serve.clients",
     "OpenLoopClient": "repro.serve.clients",
+    "PerturbationReport": "repro.serve.server",
     "ServeConfig": "repro.serve.server",
     "StorageServer": "repro.serve.server",
     "TenantSpec": "repro.serve.server",
     "serve": "repro.serve.server",
+    "serve_perturbed": "repro.serve.server",
 }
 
 
@@ -71,6 +80,7 @@ __all__ = [
     "FifoResource",
     "MultiQueueNvme",
     "OpenLoopClient",
+    "PerturbationReport",
     "QueueFull",
     "RoundRobinArbiter",
     "ScheduledEvent",
@@ -83,4 +93,5 @@ __all__ = [
     "TokenBucket",
     "WeightedRoundRobinArbiter",
     "serve",
+    "serve_perturbed",
 ]

@@ -12,16 +12,24 @@ and stage service through it.
 Determinism contract
 --------------------
 
-- Events are ordered by ``(time_ns, seq)`` where ``seq`` is a
+- Events are ordered by ``(time_ns, tie, seq)`` where ``seq`` is a
   monotonically increasing schedule counter: simultaneous events fire
   in the order they were scheduled, never in hash or heap-rebalance
-  order.
-- The loop never reads a wall clock and owns no RNG; any randomness
-  (open-loop arrival processes) lives in the callers, which draw from
-  seeded generators in event-callback order — itself deterministic.
+  order.  ``tie`` is 0 in normal operation; the perturbation harness
+  (``tiebreak_seed``) fills it with seeded uniforms to *shuffle* the
+  order of simultaneous events — a correct program's results must not
+  change (see :mod:`repro.sim.racecheck`).
+- The loop never reads a wall clock and owns no RNG of consequence;
+  any randomness (open-loop arrival processes) lives in the callers,
+  which draw from seeded generators in event-callback order — itself
+  deterministic.  The tie-break RNG only permutes same-timestamp
+  ordering and is itself seeded.
 - ``schedule`` rejects non-finite and negative delays for the same
   reason :class:`repro.sim.clock.VirtualClock` does: one NaN poisons
   every later timestamp.
+- With a :class:`~repro.sim.racecheck.RaceChecker` attached, every
+  event carries its scheduling ancestry and registered shared objects
+  verify that simultaneous accesses commute or are causally ordered.
 """
 
 from __future__ import annotations
@@ -29,31 +37,52 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import random
 from collections import deque
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.racecheck import WRITE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.racecheck import EventInfo, RaceChecker
 
 
 class ScheduledEvent:
     """Handle for a pending callback; ``cancel()`` to drop it."""
 
-    __slots__ = ("time_ns", "seq", "callback", "cancelled")
+    __slots__ = ("time_ns", "tie", "seq", "callback", "cancelled", "origin")
 
-    def __init__(self, time_ns: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time_ns: float,
+        seq: int,
+        callback: Callable[[], None],
+        *,
+        tie: float = 0.0,
+        origin: "EventInfo | None" = None,
+    ) -> None:
         self.time_ns = time_ns
+        self.tie = tie
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        #: The event (racecheck identity) that scheduled this one.
+        self.origin = origin
 
     def cancel(self) -> None:
         self.cancelled = True
         self.callback = _noop
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+        return (self.time_ns, self.tie, self.seq) < (other.time_ns, other.tie, other.seq)
 
 
 def _noop() -> None:
     return None
+
+
+def _label(callback: Callable[[], None]) -> str:
+    return getattr(callback, "__qualname__", None) or repr(callback)
 
 
 class EventLoop:
@@ -61,15 +90,50 @@ class EventLoop:
 
     ``now_ns`` is the virtual clock: it jumps from event to event and
     is only readable, never assignable, from callbacks.
+
+    ``racecheck`` attaches a :class:`~repro.sim.racecheck.RaceChecker`
+    recording each event's scheduling parent and checking registered
+    shared objects.  ``tiebreak_seed`` arms the perturbation mode:
+    simultaneous events are ordered by a seeded uniform draw instead of
+    schedule order, so a run's results provably do not lean on the
+    tie-break.
     """
 
-    def __init__(self, start_ns: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_ns: float = 0.0,
+        *,
+        racecheck: "RaceChecker | None" = None,
+        tiebreak_seed: int | None = None,
+    ) -> None:
         if not math.isfinite(start_ns) or start_ns < 0:
             raise ValueError(f"loop cannot start at {start_ns!r}")
         self.now_ns = float(start_ns)
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self.processed = 0
+        self.racecheck = racecheck
+        self.running = False
+        self._settlers: list[Callable[[], bool]] = []
+        self._tiebreak = (
+            random.Random(tiebreak_seed) if tiebreak_seed is not None else None
+        )
+
+    def add_settler(self, settler: Callable[[], bool]) -> None:
+        """Register a settle hook, called between timestamp waves.
+
+        ``run`` processes each virtual timestamp in two phases: the
+        *wave* drains every event at that time (in tie-break order),
+        then every settler runs — in registration order, which is fixed
+        at construction and therefore tie-break independent.  Deferring
+        contended decisions (resource admission, ring arbitration) to
+        the settle phase is what makes them order-independent: a
+        settler sees the aggregate effect of the whole wave, never a
+        tie-break-dependent prefix of it.  A settler returns whether it
+        did any work; settle passes repeat until a pass does nothing
+        and no same-time events remain.
+        """
+        self._settlers.append(settler)
 
     def __len__(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
@@ -88,12 +152,28 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule into the past ({time_ns} < now {self.now_ns})"
             )
-        event = ScheduledEvent(time_ns, next(self._seq), callback)
+        tie = self._tiebreak.random() if self._tiebreak is not None else 0.0
+        origin = self.racecheck.current() if self.racecheck is not None else None
+        event = ScheduledEvent(
+            time_ns, next(self._seq), callback, tie=tie, origin=origin
+        )
         heapq.heappush(self._heap, event)
         return event
 
+    def _next_event(self) -> "ScheduledEvent | None":
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
     def run(self, until_ns: float | None = None) -> float:
-        """Process events in ``(time, seq)`` order; returns final time.
+        """Process events in ``(time, tie, seq)`` order; returns final time.
+
+        Each virtual timestamp runs in two phases: the *wave* drains
+        every event at that time (including events the wave itself
+        schedules at the same time), then the registered settlers run
+        until quiescent (see :meth:`add_settler`).  Settling may spawn
+        new same-time events, which start another wave; time advances
+        only when a timestamp is fully quiescent.
 
         With ``until_ns`` the loop stops *before* any event scheduled
         later than the horizon and parks the clock exactly there —
@@ -102,20 +182,74 @@ class EventLoop:
         """
         if until_ns is not None and until_ns < self.now_ns:
             raise ValueError(f"horizon {until_ns} is in the past (now {self.now_ns})")
-        while self._heap:
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until_ns is not None and event.time_ns > until_ns:
-                break
-            heapq.heappop(self._heap)
-            self.now_ns = event.time_ns
-            self.processed += 1
-            event.callback()
+        checker = self.racecheck
+        self.running = True
+        try:
+            while True:
+                head = self._next_event()
+                if head is None:
+                    break
+                if until_ns is not None and head.time_ns > until_ns:
+                    break
+                now = head.time_ns
+                self.now_ns = now
+                while True:
+                    event = self._next_event()
+                    # Bit-exact equality IS the loop's definition of
+                    # simultaneity: the (time, tie, seq) heap order uses
+                    # the same comparison, so the wave groups exactly
+                    # the events the tie-break could permute.
+                    while event is not None and event.time_ns == now:  # simlint: allow[float-time-equality]
+                        heapq.heappop(self._heap)
+                        self.processed += 1
+                        if checker is not None:
+                            checker.begin_event(now, _label(event.callback), event.origin)
+                        event.callback()
+                        event = self._next_event()
+                    if not self._settlers:
+                        break
+                    if checker is not None:
+                        checker.begin_settle(now)
+                    settled = False
+                    for settler in self._settlers:
+                        settled = settler() or settled
+                    event = self._next_event()
+                    # Same bit-exact simultaneity check as the wave above.
+                    if not settled and (event is None or event.time_ns != now):  # simlint: allow[float-time-equality]
+                        break
+        finally:
+            self.running = False
+        if checker is not None:
+            checker.end_run()
         if until_ns is not None:
             self.now_ns = max(self.now_ns, until_ns)
         return self.now_ns
+
+
+def _fifo_ops_commute(op_a: str, op_b: str) -> bool:
+    """Which same-timestamp FIFO operations commute.
+
+    - ``finish`` frees a server (and promotes the queue head, which is
+      the same job either way): it commutes with everything, including
+      a simultaneous arrival — if an acquire could start, a preceding
+      finish only leaves *more* idle servers, and if it had to queue,
+      the finish pops the FIFO head regardless of order.
+    - ``arrive``/``arrive`` (keyed deferred acquires) commute: both
+      land in the pending buffer, and the settle phase admits the
+      whole buffer in stable-key order — set order, not event order.
+    - ``start``/``start`` commute: both observed idle servers, so both
+      orders start both jobs at the same timestamp.
+    - ``acquire`` (an *unkeyed* deferred acquire) with any other
+      acquire does *not* commute: without a stable key the settle
+      phase falls back to buffer order, which is the tie-break.
+      Likewise an immediate ``start``/``enqueue`` pair: one job got
+      the last idle server (or the earlier queue slot) by tie-break.
+    """
+    if op_a == "finish" or op_b == "finish":
+        return True
+    if op_a == op_b and op_a in ("arrive", "start"):
+        return True
+    return False
 
 
 class FifoResource:
@@ -127,9 +261,33 @@ class FifoResource:
     accumulates total service time — the same quantity the resource
     ledger calls "busy" — so utilization and bottleneck checks read
     straight off the resource.
+
+    While the loop is running, ``acquire`` does not admit immediately:
+    arrivals are buffered and the settle phase admits the buffer in
+    stable order — ``(key, arrival)`` when the caller supplies a
+    ``key``, plain arrival order otherwise.  Same-timestamp contenders
+    therefore resolve by key, not by which event the tie-break ran
+    first; without perturbation, arrival order equals schedule order,
+    so unkeyed behaviour is unchanged.  Outside ``run`` (seeding the
+    loop before it starts) acquire admits synchronously as before.
+
+    When the loop carries a race checker the resource registers itself:
+    each acquire/finish is reported as a write whose operation name
+    feeds the commutativity model above.
     """
 
-    __slots__ = ("loop", "servers", "name", "_idle", "_queue", "busy_ns", "served")
+    __slots__ = (
+        "loop",
+        "servers",
+        "name",
+        "_idle",
+        "_queue",
+        "_pending",
+        "_arrivals",
+        "busy_ns",
+        "served",
+        "_race",
+    )
 
     def __init__(self, loop: EventLoop, servers: int = 1, *, name: str = "") -> None:
         if servers <= 0:
@@ -139,8 +297,17 @@ class FifoResource:
         self.name = name
         self._idle = servers
         self._queue: deque[tuple[float, Callable[[float], None]]] = deque()
+        #: Wave arrivals awaiting settle: (sort key, service, done).
+        self._pending: list[tuple[tuple[float, int], float, Callable[[float], None]]] = []
+        self._arrivals = itertools.count()
         self.busy_ns = 0.0
         self.served = 0
+        self._race = loop.racecheck
+        if self._race is not None:
+            self._race.track(
+                self, name or f"fifo:{servers}", commutes=_fifo_ops_commute
+            )
+        loop.add_settler(self._settle)
 
     @property
     def queued(self) -> int:
@@ -150,14 +317,50 @@ class FifoResource:
     def in_service(self) -> int:
         return self.servers - self._idle
 
-    def acquire(self, service_ns: float, done: Callable[[float], None]) -> None:
-        """Enqueue a job; ``done(end_ns)`` fires when service completes."""
+    def acquire(
+        self,
+        service_ns: float,
+        done: Callable[[float], None],
+        *,
+        key: int | None = None,
+    ) -> None:
+        """Enqueue a job; ``done(end_ns)`` fires when service completes.
+
+        ``key`` is the job's stable admission priority among
+        same-timestamp arrivals (e.g. its dispatch sequence number):
+        contenders are admitted in key order at settle time, so the
+        outcome does not depend on event tie-breaks.
+        """
         if not math.isfinite(service_ns) or service_ns < 0:
             raise ValueError(f"invalid service time {service_ns!r}")
+        if self.loop.running:
+            if self._race is not None:
+                self._race.access(self, WRITE, "arrive" if key is not None else "acquire")
+            order = next(self._arrivals)
+            sort_key = (float(key) if key is not None else math.inf, order)
+            self._pending.append((sort_key, service_ns, done))
+            return
+        if self._race is not None:
+            self._race.access(self, WRITE, "start" if self._idle else "enqueue")
+        self._admit(service_ns, done)
+
+    def _admit(self, service_ns: float, done: Callable[[float], None]) -> None:
         if self._idle:
             self._start(service_ns, done)
         else:
             self._queue.append((service_ns, done))
+
+    def _settle(self) -> bool:
+        """Admit buffered wave arrivals in stable-key order."""
+        if not self._pending:
+            return False
+        batch = sorted(self._pending, key=lambda entry: entry[0])
+        self._pending.clear()
+        for _sort_key, service_ns, done in batch:
+            if self._race is not None:
+                self._race.access(self, WRITE, "start" if self._idle else "enqueue")
+            self._admit(service_ns, done)
+        return True
 
     def _start(self, service_ns: float, done: Callable[[float], None]) -> None:
         self._idle -= 1
@@ -166,6 +369,8 @@ class FifoResource:
         self.loop.schedule(service_ns, lambda: self._finish(done))
 
     def _finish(self, done: Callable[[float], None]) -> None:
+        if self._race is not None:
+            self._race.access(self, WRITE, "finish")
         self._idle += 1
         if self._queue:
             next_service, next_done = self._queue.popleft()

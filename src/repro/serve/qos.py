@@ -79,9 +79,14 @@ class TokenBucket:
     returns the earliest virtual time at which a token will exist.  The
     refill is computed analytically from the last-update timestamp, so
     the bucket needs no timer events of its own.
+
+    Buckets are shared QoS state: the serving layer registers each one
+    with the race checker (``racecheck`` attribute) — two simultaneous
+    unordered ``take`` calls race, because whichever drains the last
+    token decides which tenant gets delayed.
     """
 
-    __slots__ = ("rate_qps", "capacity", "tokens", "updated_ns")
+    __slots__ = ("rate_qps", "capacity", "tokens", "updated_ns", "racecheck")
 
     def __init__(self, rate_qps: float, capacity: int, *, start_ns: float = 0.0) -> None:
         if not math.isfinite(rate_qps) or rate_qps <= 0:
@@ -92,6 +97,8 @@ class TokenBucket:
         self.capacity = float(capacity)
         self.tokens = float(capacity)
         self.updated_ns = start_ns
+        #: Optional :class:`repro.sim.racecheck.RaceChecker` to report to.
+        self.racecheck = None
 
     def _refill(self, now_ns: float) -> None:
         if now_ns > self.updated_ns:
@@ -101,6 +108,8 @@ class TokenBucket:
 
     def take(self, now_ns: float) -> float | None:
         """Consume one token; ``None`` on success, else the ready time."""
+        if self.racecheck is not None:
+            self.racecheck.access(self, "write", "take")
         self._refill(now_ns)
         if self.tokens >= 1.0 - TOKEN_EPSILON:
             self.tokens = max(self.tokens - 1.0, 0.0)
@@ -110,6 +119,8 @@ class TokenBucket:
 
     def peek(self, now_ns: float) -> float:
         """Tokens available at ``now_ns`` (no consumption)."""
+        if self.racecheck is not None:
+            self.racecheck.access(self, "read", "peek")
         self._refill(now_ns)
         return self.tokens
 

@@ -27,6 +27,9 @@ Same ``ServeConfig`` + seed => byte-identical :class:`ServeResult`.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+import json
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -37,6 +40,8 @@ from repro.serve.engine import EventLoop, FifoResource
 from repro.serve.metrics import ServeResult, TenantMetrics
 from repro.serve.nvme_mq import ARBITERS, MultiQueueNvme
 from repro.serve.qos import SHED, AdmissionRejected, TenantQoS, TokenBucket
+from repro.sim import racecheck as racecheck_mod
+from repro.sim.racecheck import RaceChecker
 from repro.system import StorageSystem, build_system
 from repro.workloads.trace import Op, ReadOp, Trace, WriteOp
 
@@ -127,15 +132,36 @@ class _TenantState:
 
 
 class StorageServer:
-    """Drive one storage system from many concurrent tenants."""
+    """Drive one storage system from many concurrent tenants.
 
-    def __init__(self, config: ServeConfig, sim_config: SimConfig | None = None) -> None:
+    ``racecheck`` attaches a :class:`~repro.sim.racecheck.RaceChecker`
+    (created automatically when ``REPRO_RACECHECK=1`` or the CLI's
+    ``--racecheck`` armed :func:`repro.sim.racecheck.enable`); every
+    shared object — stage FIFOs, submission rings, QoS buckets,
+    latency histograms, and the storage system itself — is registered,
+    so any order-dependent same-timestamp access raises a
+    ``virtual-time race`` with both event stacks.  ``tiebreak_seed``
+    arms the loop's schedule-perturbation mode (see
+    :func:`serve_perturbed`).
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        sim_config: SimConfig | None = None,
+        *,
+        racecheck: RaceChecker | None = None,
+        tiebreak_seed: int | None = None,
+    ) -> None:
         self.config = config
+        if racecheck is None and racecheck_mod.active():
+            racecheck = RaceChecker()
+        self.racecheck = racecheck
         self.system: StorageSystem = build_system(config.system, sim_config)
         #: Retain finished root traces so each dispatched op's demand
         #: can be read off its StageTrace (popped per op, stays empty).
         self.system.tracer.retain = True
-        self.loop = EventLoop()
+        self.loop = EventLoop(racecheck=racecheck, tiebreak_seed=tiebreak_seed)
         timing = self.system.config.timing
         ssd = self.system.config.ssd
         self._host_stage = FifoResource(
@@ -147,9 +173,21 @@ class StorageServer:
         ]
         self._pcie_stage = FifoResource(self.loop, name="pcie")
         self.mq = MultiQueueNvme(config.arbitration)
+        self.mq.racecheck = racecheck
+        if racecheck is not None:
+            # The storage system's caches/mapping are order-sensitive
+            # shared state too: two simultaneous unordered dispatches
+            # would hit it in tie-break order.
+            racecheck.track(self.system, f"system:{config.system}")
+            racecheck.track(self.mq, f"nvme-mq:{config.arbitration}")
         self.inflight = 0
         self.max_inflight_observed = 0
         self._pumping = False
+        self._pump_needed = False
+        #: Stable admission priority of each dispatched op: assigned in
+        #: settle-phase arbitration order, carried through every stage.
+        self._dispatch_seq = itertools.count()
+        self.loop.add_settler(self._settle)
         self._tenants: list[_TenantState] = []
         self._by_name: dict[str, _TenantState] = {}
         self._create_files()
@@ -157,9 +195,38 @@ class StorageServer:
             state = _TenantState(spec, self._build_client(spec, index))
             self._tenants.append(state)
             self._by_name[spec.name] = state
-            self.mq.add_queue(spec.name, depth=spec.qos.queue_depth, weight=spec.qos.weight)
+            queue = self.mq.add_queue(
+                spec.name, depth=spec.qos.queue_depth, weight=spec.qos.weight
+            )
             self._open_files(state)
             state.client.bind(self.loop, self._make_submit(state))
+            if racecheck is not None:
+                # A push always moves the tenant backlog *head* into the
+                # ring, so the pushed entry is a function of tenant state,
+                # not of which same-time event does the pushing:
+                # simultaneous pushes commute.  (Pops happen only in the
+                # settle-phase pump, already fenced after the wave.)
+                racecheck.track(queue, f"ring:{spec.name}", commutative_ops={"push"})
+                if state.bucket is not None:
+                    state.bucket.racecheck = racecheck
+                    # Token arithmetic commutes; which submitter a failed
+                    # take delays does not matter, because the delayed op
+                    # is the backlog head either way.
+                    racecheck.track(
+                        state.bucket, f"bucket:{spec.name}", commutative_ops={"take"}
+                    )
+                # Histogram inserts commute (order-independent sketch),
+                # so only mixed access patterns can race.
+                racecheck.track(
+                    state.metrics.latency,
+                    f"latency:{spec.name}",
+                    commutative_ops={"record"},
+                )
+                racecheck.track(
+                    state.metrics.queue_delay,
+                    f"queue-delay:{spec.name}",
+                    commutative_ops={"record"},
+                )
 
     # --- setup --------------------------------------------------------
     def _create_files(self) -> None:
@@ -250,6 +317,27 @@ class StorageServer:
     def _pump(self) -> None:
         """Fetch from the rings while device slots are free.
 
+        While the loop is running, the pump is deferred to the settle
+        phase: arbitration then sees every ring push and freed slot of
+        the whole timestamp wave, so which ops are fetched — and in
+        what order — cannot depend on the tie-break order of the events
+        that requested pumping.
+        """
+        if self.loop.running:
+            self._pump_needed = True
+            return
+        self._pump_now()
+
+    def _settle(self) -> bool:
+        if not self._pump_needed:
+            return False
+        self._pump_needed = False
+        self._pump_now()
+        return True
+
+    def _pump_now(self) -> None:
+        """The actual fetch loop (settle phase, or before the run starts).
+
         Guarded against re-entry: ``_drain`` (called below when a fetch
         frees a ring slot) ends with a ``_pump`` of its own, which must
         no-op while this frame's while-loop is already fetching.
@@ -278,6 +366,10 @@ class StorageServer:
     def _dispatch(self, state: _TenantState, op: Op, submit_ns: float) -> None:
         """Execute the op and replay its recorded demand on the stages."""
         metrics = state.metrics
+        racecheck = self.racecheck
+        if racecheck is not None:
+            racecheck.access(metrics.queue_delay, "write", "record")
+            racecheck.access(self.system, "write", "io")
         metrics.queue_delay.record(self.loop.now_ns - submit_ns)
         fd = state.fds[op.path]
         if isinstance(op, ReadOp):
@@ -298,21 +390,27 @@ class StorageServer:
         demand = trace.demand()
         channel = self._channel_stages[demand.channel % len(self._channel_stages)]
         pcie = self._pcie_stage
+        # The op's stable admission priority at every stage: assigned in
+        # arbitration order (settle-deterministic), so same-timestamp
+        # stage contention resolves identically under any tie-break.
+        key = next(self._dispatch_seq)
 
         def on_pcie(end_ns: float) -> None:
             self._complete(state, op, submit_ns, end_ns)
 
         def on_nand(_end_ns: float) -> None:
-            pcie.acquire(demand.pcie_ns, on_pcie)
+            pcie.acquire(demand.pcie_ns, on_pcie, key=key)
 
         def on_host(_end_ns: float) -> None:
-            channel.acquire(demand.nand_ns, on_nand)
+            channel.acquire(demand.nand_ns, on_nand, key=key)
 
-        self._host_stage.acquire(demand.host_ns, on_host)
+        self._host_stage.acquire(demand.host_ns, on_host, key=key)
 
     def _complete(self, state: _TenantState, op: Op, submit_ns: float, end_ns: float) -> None:
         metrics = state.metrics
         metrics.completed += 1
+        if self.racecheck is not None:
+            self.racecheck.access(metrics.latency, "write", "record")
         metrics.latency.record(end_ns - submit_ns)
         self.inflight -= 1
         state.client.on_done(op, completed=True)
@@ -337,16 +435,83 @@ class StorageServer:
         )
 
 
-def serve(config: ServeConfig, sim_config: SimConfig | None = None) -> ServeResult:
+def serve(
+    config: ServeConfig,
+    sim_config: SimConfig | None = None,
+    *,
+    racecheck: RaceChecker | None = None,
+    tiebreak_seed: int | None = None,
+) -> ServeResult:
     """Convenience one-shot: build a server, run it, return the result."""
-    return StorageServer(config, sim_config).run()
+    return StorageServer(
+        config, sim_config, racecheck=racecheck, tiebreak_seed=tiebreak_seed
+    ).run()
+
+
+def _digest(result: ServeResult) -> str:
+    payload = json.dumps(result.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PerturbationReport:
+    """Result of re-running one config under shuffled tie-breaks."""
+
+    #: Digest of the unperturbed run (schedule-order tie-break).
+    baseline_digest: str
+    #: Tie-break seed -> digest of that perturbed run.
+    digests: dict[int, str]
+
+    @property
+    def identical(self) -> bool:
+        return all(digest == self.baseline_digest for digest in self.digests.values())
+
+    @property
+    def drifted(self) -> tuple[int, ...]:
+        """Seeds whose perturbed run diverged from the baseline."""
+        return tuple(
+            seed
+            for seed, digest in sorted(self.digests.items())
+            if digest != self.baseline_digest
+        )
+
+    def render(self) -> str:
+        verdict = "byte-identical" if self.identical else f"DRIFTED (seeds {list(self.drifted)})"
+        return (
+            f"tie-break perturbation: {len(self.digests)} seeds, {verdict}; "
+            f"baseline sha256 {self.baseline_digest[:16]}"
+        )
+
+
+def serve_perturbed(
+    config: ServeConfig,
+    sim_config: SimConfig | None = None,
+    *,
+    seeds: tuple[int, ...] = tuple(range(1, 9)),
+) -> PerturbationReport:
+    """Prove (or refute) tie-break independence of a serving run.
+
+    Runs the config once with the normal ``(time, seq)`` tie-break and
+    once per seed with simultaneous events shuffled by seeded uniforms,
+    comparing the sha256 of each run's canonical-JSON
+    :class:`ServeResult`.  A race-free program is byte-identical across
+    every seed; any drift means some observable state leaned on the
+    arbitrary ordering of same-timestamp events.
+    """
+    baseline = _digest(serve(config, sim_config))
+    digests = {
+        seed: _digest(serve(config, sim_config, tiebreak_seed=seed)) for seed in seeds
+    }
+    return PerturbationReport(baseline_digest=baseline, digests=digests)
 
 
 __all__ = [
     "CLOSED",
     "OPEN",
+    "PerturbationReport",
     "ServeConfig",
     "StorageServer",
     "TenantSpec",
     "serve",
+    "serve_perturbed",
 ]

@@ -1,0 +1,28 @@
+"""Fixture: aliased/helper-routed stage-charging counterexamples (never executed).
+
+The helpers use neutral parameter names on purpose: only the flow
+analysis — not the PR 2 name matching — can connect the call sites to
+the ledger/clock objects they receive.
+"""
+
+
+def record_cost(model, ns):
+    model.host(ns)
+
+
+def tick(c, ns):
+    c.advance(ns)
+
+
+def forward(c, ns):
+    tick(c, ns)
+
+
+def run(clock, resources, ns):
+    record_cost(resources, ns)  # expect: stage-charging
+    tick(clock, ns)  # expect: stage-charging
+    forward(clock, ns)  # expect: stage-charging
+    book = resources
+    book.pcie(ns)  # expect: stage-charging
+    ticker = clock
+    ticker.advance(ns)  # expect: stage-charging

@@ -1,0 +1,11 @@
+"""Fixture: float-time-equality counterexamples (never executed)."""
+
+
+def collide(a_ns, b_ns, deadline_ns, horizon_ns, events):
+    same = a_ns == b_ns  # expect: float-time-equality
+    if deadline_ns != horizon_ns:  # expect: float-time-equality
+        same = False
+    hits = [e for e in events if e.time_ns == deadline_ns]  # expect: float-time-equality
+    ordered = a_ns <= b_ns  # ordering comparison: clean
+    parked = deadline_ns is None  # identity guard: clean
+    return same, hits, ordered, parked

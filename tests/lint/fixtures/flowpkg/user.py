@@ -1,0 +1,13 @@
+"""Calls the helpers with a ledger/clock/RNG — flagged via the package index."""
+
+import random
+
+from helpers import charge_pcie, sample, wind
+
+
+def run(clock, resources, delta_ns):
+    charge_pcie(resources, delta_ns)  # expect: stage-charging
+    wind(clock, delta_ns)  # expect: stage-charging
+    hidden = sample(random)  # expect: seeded-rng-only
+    safe = sample(random.Random(7))
+    return hidden, safe

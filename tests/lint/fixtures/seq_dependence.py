@@ -1,0 +1,9 @@
+"""Fixture: event-tiebreak-dependence counterexamples (never executed)."""
+
+
+def handle(event, events, shards):
+    shard = shards[event.seq % len(shards)]  # expect: event-tiebreak-dependence
+    token = event.seq * 2  # expect: event-tiebreak-dependence
+    first = min(events, key=lambda e: (e.time_ns, e.seq))  # sort key: clean
+    newer = event.seq > first.seq  # ordering comparison: clean
+    return shard, token, newer

@@ -87,3 +87,99 @@ def test_no_baseline_flag_ignores_file(tmp_path: Path, monkeypatch) -> None:
     target.write_text(VIOLATION)
     assert main(["mod.py", "--write-baseline"]) == 0
     assert main(["mod.py", "--no-baseline"]) == 1
+
+
+def test_format_json(tmp_path: Path, capsys) -> None:
+    import json
+
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main([str(target), "--format", "json"]) == 1
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["version"] == 1
+    assert payload["count"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "virtual-time-purity"
+    assert finding["line"] == 5
+    assert finding["path"].endswith("mod.py")
+    assert payload["stale_baseline"] == []
+    # The human summary stays off the machine-readable stream.
+    assert "finding(s)" in captured.err
+
+
+def test_format_json_clean_tree(tmp_path: Path, capsys) -> None:
+    import json
+
+    target = tmp_path / "mod.py"
+    target.write_text("def f():\n    return 0\n")
+    assert main([str(target), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 0
+    assert payload["findings"] == []
+
+
+def test_format_github_annotations(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main([str(target), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "line=5" in out
+    assert "title=simlint[virtual-time-purity]" in out
+
+
+def test_format_github_stale_baseline_warning(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    capsys.readouterr()
+    target.write_text("def f():\n    return 0\n")  # violation fixed
+    assert main(["mod.py", "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert "::warning file=mod.py,title=simlint[baseline]" in out
+    assert "stale baseline" in out
+
+
+def test_update_baseline_prunes_stale_entries(tmp_path: Path, monkeypatch, capsys) -> None:
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    other = tmp_path / "other.py"
+    target.write_text(VIOLATION)
+    other.write_text(VIOLATION)
+    assert main(["mod.py", "other.py", "--write-baseline"]) == 0
+    # Fix one file: its baseline entry is now stale.
+    other.write_text("def f():\n    return 0\n")
+    capsys.readouterr()
+    assert main(["mod.py", "other.py", "--update-baseline"]) == 0
+    captured = capsys.readouterr()
+    assert "pruned stale baseline entry other.py [virtual-time-purity] x1" in captured.err
+    assert "1 stale entry pruned" in captured.out
+    payload = json.loads((tmp_path / "simlint-baseline.json").read_text())
+    assert "other.py" not in payload["findings"]
+    assert payload["findings"]["mod.py"] == {"virtual-time-purity": 1}
+    # The pruned baseline still grandfathers the remaining violation.
+    assert main(["mod.py", "other.py"]) == 0
+
+
+def test_update_baseline_reports_new_findings(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    target.write_text(VIOLATION + "\n\ndef g():\n    return time.time()\n")
+    capsys.readouterr()
+    assert main(["mod.py", "--update-baseline"]) == 1
+    captured = capsys.readouterr()
+    assert "not grandfathered" in captured.err
+
+
+def test_update_baseline_without_file_is_usage_error(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main(["mod.py", "--update-baseline"]) == 2
+    assert "no baseline" in capsys.readouterr().err

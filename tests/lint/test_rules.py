@@ -21,9 +21,14 @@ FIXTURES = Path(__file__).parent / "fixtures"
 FIXTURE_RULES = {
     "wallclock.py": "virtual-time-purity",
     "unseeded_rng.py": "seeded-rng-only",
+    "aliased_rng.py": "seeded-rng-only",
     "bare_charge.py": "stage-charging",
+    "aliased_clock.py": "stage-charging",
     "mixed_units.py": "unit-suffix-consistency",
     "set_iteration.py": "deterministic-iteration",
+    "shared_mutation.py": "shared-state-mutation",
+    "float_time_eq.py": "float-time-equality",
+    "seq_dependence.py": "event-tiebreak-dependence",
     "clean.py": None,
 }
 
@@ -135,3 +140,20 @@ def test_unit_mixing_across_dimensions_is_allowed() -> None:
 def test_syntax_error_becomes_finding() -> None:
     findings = lint_source("def broken(:\n", "bad.py")
     assert [f.rule for f in findings] == ["syntax-error"]
+
+
+def test_cross_module_sinks_resolve_through_the_package_index() -> None:
+    """``engine.run`` over a directory links helper summaries across
+    modules: sinks defined in ``helpers.py`` flag call sites in
+    ``user.py``."""
+    from repro.lint.engine import run as engine_run
+
+    package = FIXTURES / "flowpkg"
+    findings = engine_run([package])
+    found = sorted(
+        (f.line, f.rule) for f in findings if f.path.endswith("user.py")
+    )
+    assert found == expected_findings(package / "user.py")
+    # The helpers themselves are clean: sinks flag the caller that owns
+    # the object, not the helper.
+    assert not [f for f in findings if f.path.endswith("helpers.py")]

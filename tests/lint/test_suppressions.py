@@ -1,0 +1,191 @@
+"""Suppression edge cases: spans, decorators, docstrings, dead allows."""
+
+from __future__ import annotations
+
+from repro.lint.engine import UNUSED_SUPPRESSION, lint_source
+from repro.lint.suppressions import SuppressionIndex
+
+
+def _rules(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+# --- multi-line statements ---------------------------------------------
+
+
+def test_allow_on_first_line_covers_multiline_statement():
+    source = (
+        "import time\n"
+        "\n"
+        "value = time.time(  # simlint: allow[virtual-time-purity]\n"
+        ")\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_allow_on_last_line_covers_multiline_statement():
+    """The finding anchors to the call's first line; the allow sits on
+    the closing paren — the span-aware index still matches."""
+    source = (
+        "import time\n"
+        "\n"
+        "value = time.time(\n"
+        ")  # simlint: allow[virtual-time-purity]\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_multiline_span_does_not_leak_past_the_statement():
+    source = (
+        "import time\n"
+        "\n"
+        "value = time.time(\n"
+        ")  # simlint: allow[virtual-time-purity]\n"
+        "again = time.time()\n"
+    )
+    findings = lint_source(source, "mod.py")
+    assert _rules(findings) == ["virtual-time-purity"]
+    assert findings[0].line == 5
+
+
+# --- decorated defs ----------------------------------------------------
+
+
+def test_allow_on_decorator_line_covers_the_decorator_call():
+    source = (
+        "import functools\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "@functools.lru_cache(int(time.time()))  # simlint: allow[virtual-time-purity]\n"
+        "def f():\n"
+        "    return 0\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_allow_inside_decorated_def_body():
+    source = (
+        "import functools\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "@functools.lru_cache()\n"
+        "def f():\n"
+        "    return time.time()  # simlint: allow[virtual-time-purity]\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+# --- comment placement -------------------------------------------------
+
+
+def test_standalone_allow_comment_covers_next_line():
+    source = (
+        "import time\n"
+        "\n"
+        "# simlint: allow[virtual-time-purity]\n"
+        "value = time.time()\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_allow_text_inside_a_docstring_is_not_a_suppression():
+    source = (
+        '"""Docs mentioning # simlint: allow[virtual-time-purity] syntax."""\n'
+        "import time\n"
+        "\n"
+        "value = time.time()\n"
+    )
+    findings = lint_source(source, "mod.py")
+    assert _rules(findings) == ["virtual-time-purity"]
+
+
+def test_allow_text_inside_a_string_literal_is_not_a_suppression():
+    source = (
+        "import time\n"
+        "\n"
+        'label = "x"  # real comment\n'
+        'doc = "use # simlint: allow[virtual-time-purity] to suppress"\n'
+        "value = time.time()\n"
+    )
+    findings = lint_source(source, "mod.py")
+    assert _rules(findings) == ["virtual-time-purity"]
+
+
+# --- unused suppressions -----------------------------------------------
+
+
+def test_unused_suppression_is_itself_reported():
+    source = (
+        "import math\n"
+        "\n"
+        "value = math.pi  # simlint: allow[virtual-time-purity]\n"
+    )
+    findings = lint_source(source, "mod.py")
+    assert _rules(findings) == [UNUSED_SUPPRESSION]
+    assert findings[0].line == 3
+    assert "virtual-time-purity" in findings[0].message
+
+
+def test_used_suppression_is_not_reported_as_unused():
+    source = (
+        "import time\n"
+        "\n"
+        "value = time.time()  # simlint: allow[virtual-time-purity]\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_one_unused_rule_in_a_multi_rule_allow():
+    source = (
+        "import time\n"
+        "\n"
+        "value = time.time()  # simlint: allow[virtual-time-purity, seeded-rng-only]\n"
+    )
+    findings = lint_source(source, "mod.py")
+    assert _rules(findings) == [UNUSED_SUPPRESSION]
+    assert "seeded-rng-only" in findings[0].message
+
+
+def test_rule_filter_skips_the_unused_check():
+    """With --rule only that rule runs: an allow for another rule may
+    legitimately match nothing, so it must not be flagged."""
+    source = (
+        "import time\n"
+        "\n"
+        "value = time.time()  # simlint: allow[virtual-time-purity]\n"
+    )
+    from repro.lint.rules.base import RULES
+
+    findings = lint_source(source, "mod.py", rules=[RULES["seeded-rng-only"]])
+    assert findings == []
+
+
+def test_wildcard_allow_counts_as_used():
+    source = (
+        "import time\n"
+        "\n"
+        "value = time.time()  # simlint: allow[*]\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+# --- the index itself --------------------------------------------------
+
+
+def test_from_source_survives_broken_syntax():
+    index = SuppressionIndex.from_source(
+        "def broken(:\n    pass  # simlint: allow[virtual-time-purity]\n"
+    )
+    assert index.allows(2, "virtual-time-purity")
+
+
+def test_allows_marks_usage_per_entry():
+    index = SuppressionIndex.from_source(
+        "x = 1  # simlint: allow[virtual-time-purity]\n"
+        "y = 2  # simlint: allow[seeded-rng-only]\n"
+    )
+    assert index.allows(1, "virtual-time-purity")
+    unused = index.unused()
+    assert unused == [(2, "seeded-rng-only")]

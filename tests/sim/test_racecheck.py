@@ -1,0 +1,208 @@
+"""Unit tests for the vector-clock happens-before race checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import racecheck
+from repro.sim.racecheck import EventInfo, RaceChecker, RaceError, VectorClock
+
+
+class _Shared:
+    """A bare object to register as tracked shared state."""
+
+
+# --- vector clocks -----------------------------------------------------
+
+
+def test_vector_clock_ancestry_orders_events():
+    root = VectorClock(0, None)
+    child = VectorClock(1, root)
+    grandchild = VectorClock(2, child)
+    assert root.happens_before(grandchild)
+    assert child.happens_before(grandchild)
+    assert not grandchild.happens_before(child)
+
+
+def test_vector_clock_siblings_are_unordered():
+    root = VectorClock(0, None)
+    left = VectorClock(1, root)
+    right = VectorClock(2, root)
+    assert not left.happens_before(right)
+    assert not right.happens_before(left)
+
+
+def test_vector_clock_components_materializes_ancestors():
+    root = VectorClock(0, None)
+    child = VectorClock(3, root)
+    assert child.components() == {3: 1, 0: 1}
+
+
+def test_event_info_stack_is_innermost_first():
+    root = EventInfo(0, 0.0, "<run>", None)
+    inner = EventInfo(1, 5.0, "handler", root)
+    frames = inner.stack()
+    assert frames[0].endswith("handler")
+    assert frames[1].endswith("<run>")
+
+
+# --- the checker -------------------------------------------------------
+
+
+def _two_unordered_events(checker: RaceChecker, time_ns: float = 10.0):
+    """Run two same-timestamp events with no scheduling edge."""
+    checker.begin_event(time_ns, "a", None)
+    first = checker.current()
+    checker.begin_event(time_ns, "b", None)
+    return first
+
+
+def test_unordered_same_time_writes_raise():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "bucket")
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "take")
+    checker.begin_event(10.0, "b", None)
+    with pytest.raises(RaceError) as excinfo:
+        checker.access(shared, "write", "take")
+    message = str(excinfo.value)
+    assert "virtual-time race on 'bucket'" in message
+    assert "event A:" in message and "event B:" in message
+
+
+def test_read_read_never_conflicts():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "bucket")
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "read", "peek")
+    checker.begin_event(10.0, "b", None)
+    checker.access(shared, "read", "peek")
+    assert not checker.races
+
+
+def test_scheduling_ancestry_orders_the_pair():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "bucket")
+    checker.begin_event(10.0, "parent", None)
+    checker.access(shared, "write", "take")
+    parent = checker.current()
+    # The child was scheduled by the parent: ordered even at one time.
+    checker.begin_event(10.0, "child", parent)
+    checker.access(shared, "write", "take")
+    assert not checker.races
+
+
+def test_commutative_ops_do_not_conflict():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "histogram", commutative_ops={"record"})
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "record")
+    checker.begin_event(10.0, "b", None)
+    checker.access(shared, "write", "record")
+    assert not checker.races
+    # A non-commuting op against the same window still races.
+    with pytest.raises(RaceError):
+        checker.access(shared, "write", "reset")
+
+
+def test_commutes_predicate_is_consulted():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "fifo", commutes=lambda a, b: "finish" in (a, b))
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "finish")
+    checker.begin_event(10.0, "b", None)
+    checker.access(shared, "write", "start")  # commutes with finish
+    with pytest.raises(RaceError):
+        # start/enqueue does not commute and the events are unordered.
+        checker.begin_event(10.0, "c", None)
+        checker.access(shared, "write", "enqueue")
+
+
+def test_time_advance_flushes_the_window():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "bucket")
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "take")
+    checker.begin_event(20.0, "b", None)
+    checker.access(shared, "write", "take")
+    assert not checker.races
+
+
+def test_settle_fence_orders_wave_against_settle():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "ring")
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "push")
+    checker.begin_settle(10.0)
+    checker.access(shared, "write", "pop")  # fenced: no race
+    # An event scheduled by the settle pass is also ordered after it.
+    checker.begin_event(10.0, "b", checker.current())
+    checker.access(shared, "write", "push")
+    assert not checker.races
+
+
+def test_collect_mode_records_instead_of_raising():
+    checker = RaceChecker(raise_on_race=False)
+    shared = _Shared()
+    checker.track(shared, "bucket")
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "take")
+    checker.begin_event(10.0, "b", None)
+    checker.access(shared, "write", "take")
+    assert len(checker.races) == 1
+    report = checker.races[0]
+    assert report.name == "bucket"
+    assert "unordered write" in report.render()
+
+
+def test_untracked_objects_are_ignored():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "take")
+    checker.begin_event(10.0, "b", None)
+    checker.access(shared, "write", "take")
+    assert not checker.races
+    assert checker.accesses_checked == 0
+
+
+def test_end_run_resets_the_window():
+    checker = RaceChecker()
+    shared = _Shared()
+    checker.track(shared, "bucket")
+    checker.begin_event(10.0, "a", None)
+    checker.access(shared, "write", "take")
+    checker.end_run()
+    checker.begin_event(10.0, "b", None)
+    checker.access(shared, "write", "take")
+    assert not checker.races
+
+
+# --- activation --------------------------------------------------------
+
+
+def test_enable_disable_nest():
+    assert not racecheck.active()
+    racecheck.enable()
+    try:
+        assert racecheck.active()
+        racecheck.enable()
+        racecheck.disable()
+        assert racecheck.active()
+    finally:
+        racecheck.disable()
+    assert not racecheck.active()
+
+
+def test_env_var_activates(monkeypatch):
+    monkeypatch.setenv("REPRO_RACECHECK", "1")
+    assert racecheck.active()
+    monkeypatch.setenv("REPRO_RACECHECK", "0")
+    assert not racecheck.active()
