@@ -8,6 +8,7 @@ numbers used in EXPERIMENTS.md are reproducible artifacts.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -16,6 +17,11 @@ import pytest
 from repro.experiments.scale import get_scale
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Per-backend serving throughput (virtual requests/sec), filled in by
+#: ``benchmarks/test_backend_matrix.py`` and written out as
+#: ``results/BENCH_backend_matrix.json`` at the end of the session.
+BACKEND_MATRIX_QPS: dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -42,6 +48,17 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
     CI lint job.
     """
     import time
+
+    if BACKEND_MATRIX_QPS:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {"requests_per_sec": dict(sorted(BACKEND_MATRIX_QPS.items()))}
+        (RESULTS_DIR / "BENCH_backend_matrix.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        terminalreporter.section("serving throughput by interconnect backend")
+        for backend, qps in sorted(BACKEND_MATRIX_QPS.items()):
+            terminalreporter.write_line(f"  {backend:<12} {qps:12.1f} req/s (virtual)")
+        terminalreporter.write_line("  -> results/BENCH_backend_matrix.json")
 
     from repro.lint.context import ModuleContext
     from repro.lint.engine import iter_python_files

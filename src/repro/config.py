@@ -93,6 +93,51 @@ DEFAULT_NAND_PROGRAM_NS: Mapping[NandType, int] = {
 }
 
 
+#: Effective payload bandwidth of one PCIe lane by generation, in
+#: bytes/ns (= GB/s): raw signalling rate (2.5/5/8/16/32 GT/s) minus
+#: 8b/10b (Gen1/2) or 128b/130b (Gen3+) encoding and ~20% TLP/DLLP
+#: protocol overhead.  Gen3 x4 therefore lands at the 3.2 GB/s the
+#: paper's platform sustains.
+PCIE_LANE_BW_BYTES_PER_NS: Mapping[int, float] = {
+    1: 0.2,
+    2: 0.4,
+    3: 0.8,
+    4: 1.6,
+    5: 3.2,
+}
+
+
+@dataclass(frozen=True)
+class PcieLinkSpec:
+    """Physical PCIe link geometry: generation and lane count.
+
+    The effective payload bandwidth is *derived* from these fields
+    (``bw_bytes_per_ns``) instead of being hardwired, so a Gen4 x2 or
+    Gen5 x4 link is one config change.  The default (Gen3 x4) is
+    numerically identical to the historical 3.2 bytes/ns constant.
+    """
+
+    gen: int = 3
+    lanes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.gen not in PCIE_LANE_BW_BYTES_PER_NS:
+            raise ValueError(
+                f"unknown PCIe generation {self.gen}; "
+                f"known: {sorted(PCIE_LANE_BW_BYTES_PER_NS)}"
+            )
+        if self.lanes <= 0:
+            raise ValueError(f"lane count must be positive, got {self.lanes}")
+
+    @property
+    def bw_bytes_per_ns(self) -> float:
+        """Effective payload bandwidth of the whole link."""
+        return PCIE_LANE_BW_BYTES_PER_NS[self.gen] * self.lanes
+
+    def __str__(self) -> str:
+        return f"PCIe Gen{self.gen} x{self.lanes}"
+
+
 @dataclass(frozen=True)
 class TimingModel:
     """All latency constants, in nanoseconds (bandwidths in bytes/ns).
@@ -120,8 +165,12 @@ class TimingModel:
     #: Flash channel transfer time for one full page (ONFI-style bus).
     channel_xfer_page_ns: int = 10 * US
 
-    # --- PCIe link (Gen3 x4 effective payload bandwidth ~3.2 GB/s) ---
-    pcie_bw_bytes_per_ns: float = 3.2
+    # --- PCIe link geometry (bandwidth derived from gen x lanes) ---
+    pcie: PcieLinkSpec = field(default_factory=PcieLinkSpec)
+    #: Effective payload bandwidth in bytes/ns.  ``None`` (the default)
+    #: derives it from ``pcie.gen`` x ``pcie.lanes``; an explicit float
+    #: overrides the derivation (calibration escape hatch).
+    pcie_bw_bytes_per_ns: float | None = None
     #: Fixed cost per DMA descriptor / TLP batch on the link.
     pcie_tlp_ns: int = 300
     #: MMIO non-posted read transaction: max payload per transaction.
@@ -164,6 +213,30 @@ class TimingModel:
     #: the platform "cannot synchronously read data from parallel
     #: channels", making block-path page reads slower than byte reads.
     block_page_penalty_ns: int = 40 * US
+
+    def __post_init__(self) -> None:
+        if self.pcie_bw_bytes_per_ns is None:
+            object.__setattr__(
+                self, "pcie_bw_bytes_per_ns", self.pcie.bw_bytes_per_ns
+            )
+        if self.pcie_bw_bytes_per_ns <= 0:
+            raise ValueError(
+                f"PCIe bandwidth must be positive, got {self.pcie_bw_bytes_per_ns}"
+            )
+        if self.mmio_tlp_ns <= 0:
+            raise ValueError(f"mmio_tlp_ns must be positive, got {self.mmio_tlp_ns}")
+        if self.mmio_payload_bytes <= 0:
+            raise ValueError(
+                f"mmio_payload_bytes must be positive, got {self.mmio_payload_bytes}"
+            )
+        if self.pcie_tlp_ns < 0 or self.page_fault_ns < 0 or self.dma_map_ns < 0:
+            raise ValueError("per-transaction latencies cannot be negative")
+        if self.dram_bw_bytes_per_ns <= 0:
+            raise ValueError(
+                f"DRAM bandwidth must be positive, got {self.dram_bw_bytes_per_ns}"
+            )
+        if self.channel_xfer_page_ns < 0:
+            raise ValueError("channel_xfer_page_ns cannot be negative")
 
     def nand_read(self, nand: NandType) -> int:
         """tR for the given cell type, in ns."""
@@ -306,6 +379,10 @@ class SimConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     pipette: PipetteConfig = field(default_factory=PipetteConfig)
     readahead: ReadaheadConfig = field(default_factory=ReadaheadConfig)
+    #: Interconnect/placement backend the device is built on; see
+    #: :mod:`repro.ssd.backends` (``pcie_gen3`` | ``cxl_lmb`` |
+    #: ``nvme_fdp``).  Validated when the device is constructed.
+    backend: str = "pcie_gen3"
     #: Transient NAND read-fault injection (disabled by default).
     faults: "FaultModel" = field(default_factory=lambda: _default_faults())
     #: Store and verify real payload bytes (False keeps accounting only,
@@ -332,6 +409,8 @@ __all__ = [
     "MIB",
     "MS",
     "NandType",
+    "PCIE_LANE_BW_BYTES_PER_NS",
+    "PcieLinkSpec",
     "PipetteConfig",
     "ReadaheadConfig",
     "SSDSpec",

@@ -79,13 +79,16 @@ class FineGrainedReadEngine:
         #: however many ranges of the request it serves.
         sensed: dict[int, bytes | None] = {}
 
+        placement = self.controller.placement
         for fine_range in command.ranges:
             # Phase 1: load NAND pages into the read buffer.
             span = fine_range.offset_in_page + fine_range.length
             pages = -(-span // page_size)
             staged: list[bytes | None] = []
+            range_ppns: list[int] = []
             for page_offset in range(pages):
                 lba = fine_range.lba + page_offset
+                range_ppns.append(self.controller.ftl.translate(lba))
                 if lba in sensed:
                     staged.append(sensed[lba])
                     continue
@@ -101,6 +104,14 @@ class FineGrainedReadEngine:
                 or record.byte_length != fine_range.length
             ):
                 return NvmeCompletion(cid=command.cid, status=0x02)
+            # Resolve the destination's placement handle (staged by the
+            # host with the Info record) and account the served range
+            # against it — on an FDP backend this is the per-handle
+            # flash-footprint segregation.
+            handle = placement.pop_destination(record.dest_addr)
+            placement.record_read(
+                handle, fine_range.length, pages=tuple(range_ppns)
+            )
 
             # Phase 3: extract the range and DMA it to its destination.
             if self.config.transfer_data:

@@ -62,6 +62,7 @@ class PipetteSystem(StorageSystem):
             hmb=self.device.hmb,
             page_cache=self.page_cache,
             transfer_data=config.transfer_data,
+            placement=self.device.placement,
         )
         self.detector = FineGrainedAccessDetector(page_size=config.ssd.page_size)
         self.dispatcher = ReadDispatcher(threshold_bytes=config.pipette.dispatch_threshold_bytes)
@@ -234,6 +235,9 @@ class PipetteSystem(StorageSystem):
         }
         for key, value in self.cache.stats().items():
             stats[f"fgrc_{key}"] = value
+        # Backend placement breakdown (empty on the unified default, so
+        # pcie_gen3/cxl_lmb reports are unchanged).
+        stats.update(self.device.placement.stats())
         # Structured extra (not a float): per-slab-class occupancy rows.
         stats["_occupancy"] = self.cache.class_occupancy()  # type: ignore[assignment]
         return stats

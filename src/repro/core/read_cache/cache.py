@@ -26,6 +26,7 @@ from repro.core.read_cache.slab import CacheItem, Slab, SlabAllocator, SlabClass
 from repro.core.read_cache.tempbuf import TempBufArea
 from repro.kernel.page_cache import PageCache
 from repro.sim.stats import HitMissCounter
+from repro.ssd.backends.base import BufferPlacement
 from repro.ssd.hmb import HostMemoryBuffer
 
 
@@ -53,11 +54,17 @@ class FineGrainedReadCache:
         *,
         transfer_data: bool = True,
         seed: int | None = None,
+        placement: BufferPlacement | None = None,
     ) -> None:
         self.config = cache_config
         self.page_cache = page_cache
         self.hmb = hmb
         self.transfer_data = transfer_data
+        #: Backend placement policy: destinations the cache hands out
+        #: (Data Area items, TempBuf ranges) are tagged with placement
+        #: handles so an FDP-style backend can segregate them by slab
+        #: class; the unified default is a no-op.
+        self.placement = placement if placement is not None else BufferPlacement()
         #: Per-instance seeded stream (plumbed from CacheConfig.rng_seed
         #: unless a caller overrides it) — never the global `random`
         #: module, so concurrent caches and unrelated draws cannot
@@ -173,12 +180,19 @@ class FineGrainedReadCache:
         self.ensure_table(ino).insert(item)
         self._items_by_addr[addr] = item
         self.admissions += 1
+        handle = self.placement.handle_for_class(slab_class.index)
+        self.placement.record_admission(handle, length)
+        self.placement.stage_destination(addr, handle)
         return item
 
     def tempbuf_alloc(self, length: int) -> int:
         """Destination address for a non-admitted (low-reuse) read."""
         self.tempbuf_passes += 1
-        return self.tempbuf.alloc(length)
+        addr = self.tempbuf.alloc(length)
+        handle = self.placement.tempbuf_handle
+        self.placement.record_admission(handle, length)
+        self.placement.stage_destination(addr, handle)
+        return addr
 
     def fill(self, item: CacheItem, data: bytes | None) -> None:
         """Host-visible completion of the device's DMA into the item."""

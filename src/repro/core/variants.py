@@ -42,15 +42,18 @@ class PipetteCmbSystem(PipetteSystem):
         nand_ns_each: list[float] = []
         staged_pages: dict[int, bytes | None] = {}
         total_bytes = 0
+        placement = device.placement
         for request_offset, request_size, request_dest in requests:
             # Device side: stage each needed page in the CMB once per
             # command (like the Read Engine's buffer).
             chunks: list[bytes] = []
+            request_ppns: list[int] = []
             for piece in self.fs.extract_ranges(inode, request_offset, request_size):
                 pages = -(-(piece.offset_in_page + piece.length) // self.fs.page_size)
                 page_contents: list[bytes | None] = []
                 for page_offset in range(pages):
                     lba = piece.lba + page_offset
+                    request_ppns.append(device.ftl.translate(lba))
                     if lba not in staged_pages:
                         _, content, nand_ns = device.stage_for_byte_access(lba)
                         staged_pages[lba] = content
@@ -63,6 +66,11 @@ class PipetteCmbSystem(PipetteSystem):
                     )
             if self.config.transfer_data:
                 device.hmb.write(request_dest, b"".join(chunks))
+            # This variant bypasses the Read Engine, so it resolves the
+            # staged placement handle itself (same contract: one pop
+            # and one read record per requested range).
+            handle = placement.pop_destination(request_dest)
+            placement.record_read(handle, request_size, pages=tuple(request_ppns))
             total_bytes += request_size
         if nand_ns_each:
             rounds = math.ceil(len(nand_ns_each) / self.config.ssd.channels)

@@ -16,6 +16,7 @@ import sys
 import time
 
 from repro.experiments import (
+    backend_matrix,
     compare,
     fig1,
     fig5,
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "stability": multiseed.run,
     "multitenant": multitenant.run,
     "serving": serving.run,
+    "backend-matrix": backend_matrix.run,
 }
 
 #: Order that reuses memoized suites (synthetic uniform/zipfian, apps).
@@ -72,6 +74,7 @@ ALL_ORDER = [
     "stability",
     "multitenant",
     "serving",
+    "backend-matrix",
 ]
 
 

@@ -24,6 +24,22 @@ class NvmeDriver:
     def commands_issued(self) -> int:
         return self.device.queue.submitted
 
+    @property
+    def fabric(self) -> str:
+        """Name of the interconnect backend the device sits on."""
+        return self.device.backend.name
+
+    @property
+    def premaps_buffers(self) -> bool:
+        """Whether block I/O buffers need (pre-established) DMA mappings.
+
+        Block-path PRP buffers are premapped by the driver on PCIe; a
+        coherent fabric (``cxl_lmb``) has no mappings at all.  Either
+        way the cost is off the per-request path, which is why
+        ``read_pages``/``write_pages`` charge no mapping stage here.
+        """
+        return not self.device.backend.interconnect.coherent
+
     def read_pages(
         self,
         requests: list[BlockRequest],

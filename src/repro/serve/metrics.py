@@ -64,6 +64,8 @@ class ServeResult:
     max_inflight_observed: int
     events_processed: int
     tenants: dict[str, dict[str, float]]
+    #: Interconnect/placement backend the run's device was built on.
+    backend: str = "pcie_gen3"
 
     @property
     def total_completed(self) -> int:
@@ -82,6 +84,7 @@ class ServeResult:
         """Deterministic, JSON-friendly dump (regression-comparable)."""
         return {
             "system": self.system,
+            "backend": self.backend,
             "arbitration": self.arbitration,
             "elapsed_ns": self.elapsed_ns,
             "max_inflight_observed": self.max_inflight_observed,

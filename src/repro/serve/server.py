@@ -83,6 +83,11 @@ class ServeConfig:
 
     tenants: tuple[TenantSpec, ...]
     system: str = "pipette"
+    #: Interconnect/placement backend the storage system's device runs
+    #: on (see :mod:`repro.ssd.backends`).  ``None`` inherits whatever
+    #: the supplied ``SimConfig`` selects (``pcie_gen3`` by default);
+    #: a name overrides it, so the serving layer runs on any fabric.
+    backend: str | None = None
     #: ``"rr"`` or ``"wrr"`` NVMe submission-queue arbitration.
     arbitration: str = "wrr"
     #: Device slots: maximum requests concurrently in the stage pipeline.
@@ -157,6 +162,8 @@ class StorageServer:
         if racecheck is None and racecheck_mod.active():
             racecheck = RaceChecker()
         self.racecheck = racecheck
+        if config.backend is not None:
+            sim_config = (sim_config or SimConfig()).scaled(backend=config.backend)
         self.system: StorageSystem = build_system(config.system, sim_config)
         #: Retain finished root traces so each dispatched op's demand
         #: can be read off its StageTrace (popped per op, stays empty).
@@ -424,6 +431,7 @@ class StorageServer:
         elapsed_ns = self.loop.run(self.config.max_time_ns)
         return ServeResult(
             system=self.config.system,
+            backend=self.system.config.backend,
             arbitration=self.config.arbitration,
             elapsed_ns=elapsed_ns,
             max_inflight_observed=self.max_inflight_observed,

@@ -1,0 +1,97 @@
+"""CXL-LMB backend: a cache-coherent load/store memory buffer.
+
+Models the LMB design (PAPERS.md: "LMB: Augmenting Memory via CXL",
+arXiv 2406.02039): the device exposes its buffer over CXL.mem, so the
+host reaches it with plain cacheline loads and stores instead of
+doorbell-driven DMA descriptors or non-posted MMIO transactions.
+
+What changes relative to PCIe (and why the paper's trade-offs move):
+
+- **byte reads** are 64 B cacheline loads at CXL.mem round-trip
+  latency — not 8 B non-posted MMIO TLPs — so the latency slope vs
+  request size drops by roughly (64/8) x (mmio_tlp / cxl_load);
+- **bulk transfers** are posted store streams: one store round trip of
+  setup instead of a 300 ns TLP/doorbell batch, at the CXL link rate;
+- **no mapping costs anywhere**: coherent memory needs neither a BAR
+  page fault before byte access nor a DMA mapping (per-access or
+  persistent) — the 23 us that separates 2B-SSD DMA from Pipette
+  disappears, collapsing the MMIO-vs-DMA crossover from ~1 KiB to
+  tens of bytes (`experiments backend_matrix` reports the shift).
+
+Latency constants live in :class:`CxlLmbParams` (defaults documented
+with sources in docs/MODEL.md) so sensitivity sweeps can replace them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TimingModel
+from repro.ssd.backends.base import (
+    DeviceBackend,
+    Interconnect,
+    UnifiedPlacement,
+    register_backend,
+)
+
+
+@dataclass(frozen=True)
+class CxlLmbParams:
+    """CXL.mem fabric constants (see docs/MODEL.md for sources)."""
+
+    #: Round-trip latency of one 64 B CXL.mem read (MemRd -> MemData).
+    load_ns: float = 150.0
+    #: Effective latency of a posted store stream's setup (MemWr).
+    store_ns: float = 80.0
+    #: Effective payload bandwidth of the CXL link (x8 lanes).
+    bw_bytes_per_ns: float = 16.0
+    #: Transfer granule of the coherence protocol.
+    cacheline_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.load_ns <= 0 or self.store_ns < 0:
+            raise ValueError("CXL latencies must be positive (store may be 0)")
+        if self.bw_bytes_per_ns <= 0:
+            raise ValueError(
+                f"CXL bandwidth must be positive, got {self.bw_bytes_per_ns}"
+            )
+        if self.cacheline_bytes <= 0:
+            raise ValueError("cacheline_bytes must be positive")
+
+
+class CxlLmbInterconnect(Interconnect):
+    """Coherent load/store transport over CXL.mem."""
+
+    name = "cxl_lmb"
+    coherent = True
+    byte_read_stage = "cxl_load"
+
+    def __init__(self, timing: TimingModel, params: CxlLmbParams | None = None) -> None:
+        self.timing = timing
+        self.params = params or CxlLmbParams()
+        self.read_transaction_bytes = self.params.cacheline_bytes
+
+    def bulk_transfer_ns(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.params.store_ns + nbytes / self.params.bw_bytes_per_ns
+
+    def byte_read_ns(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        lines = -(-nbytes // self.params.cacheline_bytes)
+        return lines * self.params.load_ns
+
+    # Coherent memory: no BAR fault, no DMA mappings — inherited zeros.
+
+
+@register_backend("cxl_lmb")
+def _build(timing: TimingModel) -> DeviceBackend:
+    return DeviceBackend(
+        name="cxl_lmb",
+        interconnect=CxlLmbInterconnect(timing),
+        placement=UnifiedPlacement(),
+    )
+
+
+__all__ = ["CxlLmbInterconnect", "CxlLmbParams"]

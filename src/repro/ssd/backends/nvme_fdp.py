@@ -1,0 +1,118 @@
+"""NVMe Flexible Data Placement backend: per-slab-class handles.
+
+Models FDP (PAPERS.md: NVMe TP4146 analysis, arXiv 2503.11665): the
+host tags each write/fill with a *placement handle* and the device
+segregates data by handle into distinct reclaim units.  The transport
+is unchanged PCIe Gen3 x4 — what moves is *where* data lands and how
+the device's garbage-collection amplification behaves.
+
+Mapping onto Pipette's structures: the FGRC's slab classes already
+segregate items by size, and size correlates with lifetime (the paper's
+adaptive reassignment exploits exactly that), so each slab class gets
+its own placement handle; TempBuf staging (the shortest-lived data of
+all — dead after one read) gets a dedicated handle, and conventional
+block writes keep the default handle.  The placement records, per
+handle, the admitted bytes, the fine-read bytes served, the flash
+pages touched (footprint = reclaim-unit pressure), and programmed
+bytes — feeding the existing read-amplification accounting with an
+``fdp_``-prefixed breakdown in ``cache_stats``.
+"""
+
+from __future__ import annotations
+
+from repro.config import TimingModel
+from repro.ssd.backends.base import BufferPlacement, DeviceBackend, register_backend
+from repro.ssd.backends.pcie_gen3 import PcieGen3Interconnect
+
+#: Handles: 0 = block/default stream, 1 = TempBuf, 2.. = slab classes.
+BLOCK_HANDLE = 0
+TEMPBUF_HANDLE = 1
+FIRST_CLASS_HANDLE = 2
+#: Total reclaim-unit handles the simulated device exposes (typical
+#: FDP configurations advertise 8 or 16).
+DEFAULT_HANDLES = 8
+
+
+class FdpPlacement(BufferPlacement):
+    """Slab-class -> placement-handle policy with per-handle accounting."""
+
+    name = "fdp"
+
+    def __init__(self, handles: int = DEFAULT_HANDLES) -> None:
+        if handles < FIRST_CLASS_HANDLE + 1:
+            raise ValueError(
+                f"FDP needs >= {FIRST_CLASS_HANDLE + 1} handles, got {handles}"
+            )
+        self.handles = handles
+        self.block_handle = BLOCK_HANDLE
+        self.tempbuf_handle = TEMPBUF_HANDLE
+        self._staged: dict[int, int] = {}
+        self.admitted_bytes = [0] * handles
+        self.read_bytes = [0] * handles
+        self.written_bytes = [0] * handles
+        #: Distinct flash pages sensed to serve each handle's fills.
+        self._footprint: list[set[int]] = [set() for _ in range(handles)]
+
+    def handle_for_class(self, class_index: int) -> int:
+        """Round-robin slab classes over the non-reserved handles."""
+        span = self.handles - FIRST_CLASS_HANDLE
+        return FIRST_CLASS_HANDLE + class_index % span
+
+    def stage_destination(self, dest_addr: int, handle: int) -> None:
+        self._staged[dest_addr] = handle
+
+    def pop_destination(self, dest_addr: int) -> int:
+        return self._staged.pop(dest_addr, self.block_handle)
+
+    def record_admission(self, handle: int, nbytes: int) -> None:
+        self.admitted_bytes[handle] += nbytes
+
+    def record_read(
+        self, handle: int, nbytes: int, *, pages: tuple[int, ...] = ()
+    ) -> None:
+        self.read_bytes[handle] += nbytes
+        self._footprint[handle].update(pages)
+
+    def record_write(self, handle: int, nbytes: int, *, ppn: int | None = None) -> None:
+        self.written_bytes[handle] += nbytes
+        if ppn is not None:
+            self._footprint[handle].add(ppn)
+
+    def stats(self) -> dict[str, float]:
+        """``fdp_``-prefixed per-handle breakdown for ``cache_stats``."""
+        stats: dict[str, float] = {
+            "fdp_handles": float(self.handles),
+            "fdp_staged_pending": float(len(self._staged)),
+        }
+        for handle in range(self.handles):
+            footprint = len(self._footprint[handle])
+            if (
+                not self.admitted_bytes[handle]
+                and not self.read_bytes[handle]
+                and not self.written_bytes[handle]
+                and not footprint
+            ):
+                continue  # quiet handles stay out of the report
+            stats[f"fdp_h{handle}_admitted_bytes"] = float(self.admitted_bytes[handle])
+            stats[f"fdp_h{handle}_read_bytes"] = float(self.read_bytes[handle])
+            stats[f"fdp_h{handle}_written_bytes"] = float(self.written_bytes[handle])
+            stats[f"fdp_h{handle}_footprint_pages"] = float(footprint)
+        return stats
+
+
+@register_backend("nvme_fdp")
+def _build(timing: TimingModel) -> DeviceBackend:
+    return DeviceBackend(
+        name="nvme_fdp",
+        interconnect=PcieGen3Interconnect(timing),
+        placement=FdpPlacement(),
+    )
+
+
+__all__ = [
+    "BLOCK_HANDLE",
+    "DEFAULT_HANDLES",
+    "FIRST_CLASS_HANDLE",
+    "TEMPBUF_HANDLE",
+    "FdpPlacement",
+]

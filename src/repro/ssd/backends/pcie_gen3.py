@@ -1,0 +1,56 @@
+"""The baseline backend: PCIe Gen3 x4 with a unified placement stream.
+
+Every cost delegates to the exact :class:`~repro.config.TimingModel`
+methods the device models called before the abstraction existed, so a
+simulation on this backend is bit-identical to the pre-refactor code
+(the golden-digest regression test enforces this).
+"""
+
+from __future__ import annotations
+
+from repro.config import TimingModel
+from repro.ssd.backends.base import (
+    DeviceBackend,
+    Interconnect,
+    UnifiedPlacement,
+    register_backend,
+)
+
+
+class PcieGen3Interconnect(Interconnect):
+    """PCIe non-coherent transport: TLP-batched DMA, non-posted MMIO."""
+
+    name = "pcie_gen3"
+    coherent = False
+    byte_read_stage = "mmio_pull"
+
+    def __init__(self, timing: TimingModel) -> None:
+        self.timing = timing
+        self.read_transaction_bytes = timing.mmio_payload_bytes
+
+    def bulk_transfer_ns(self, nbytes: int) -> float:
+        return self.timing.pcie_transfer_ns(nbytes)
+
+    def byte_read_ns(self, nbytes: int) -> float:
+        return self.timing.mmio_read_ns(nbytes)
+
+    def byte_fault_ns(self) -> float:
+        return float(self.timing.page_fault_ns)
+
+    def per_access_map_ns(self) -> float:
+        return float(self.timing.dma_map_ns)
+
+    def persistent_map_ns(self) -> float:
+        return float(self.timing.dma_map_ns)
+
+
+@register_backend("pcie_gen3")
+def _build(timing: TimingModel) -> DeviceBackend:
+    return DeviceBackend(
+        name="pcie_gen3",
+        interconnect=PcieGen3Interconnect(timing),
+        placement=UnifiedPlacement(),
+    )
+
+
+__all__ = ["PcieGen3Interconnect"]

@@ -20,6 +20,7 @@ from typing import Callable, Protocol
 from repro.config import SimConfig
 from repro.sim.resources import ResourceModel
 from repro.sim.trace import Tracer
+from repro.ssd.backends.base import BufferPlacement
 from repro.ssd.ftl import FlashTranslationLayer
 from repro.ssd.nand import FlashArray
 from repro.ssd.nvme import NvmeCommand, NvmeCompletion, NvmeOpcode
@@ -48,6 +49,9 @@ class SSDController:
     #: Shared stage tracer; channel occupancy is recorded here (and
     #: folded into ``resources``) instead of charged directly.
     tracer: Tracer | None = None
+    #: Backend placement policy; writes are tagged with its handles
+    #: (conventional stream unless an FDP-style backend segregates).
+    placement: BufferPlacement | None = None
     read_buffer: list[ReadBufferSlot] = field(default_factory=list)
     _extensions: dict[NvmeOpcode, FirmwareExtension] = field(default_factory=dict)
     pages_sensed: int = 0
@@ -60,6 +64,8 @@ class SSDController:
     def __post_init__(self) -> None:
         if self.tracer is None:
             self.tracer = Tracer(self.resources)
+        if self.placement is None:
+            self.placement = BufferPlacement()
 
     # --- primitives -----------------------------------------------------
     def sense_page(self, lba: int, *, with_data: bool | None = None) -> tuple[bytes | None, float]:
@@ -113,6 +119,9 @@ class SSDController:
         assert ppn_after != ppn_before or self.nand.spec.pages_per_block == 1
         nand_ns = self.nand.program_latency_ns() + self.config.timing.channel_xfer_page_ns
         self.tracer.channel(self.nand.channel_of(ppn_after), "program", nand_ns)
+        self.placement.record_write(
+            self.placement.block_handle, self.config.ssd.page_size, ppn=ppn_after
+        )
         self._buffer_invalidate(lba)
         return nand_ns
 

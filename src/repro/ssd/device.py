@@ -29,6 +29,7 @@ from repro.sim.resources import ResourceModel
 from repro.sim.stats import TrafficMeter
 from repro.sim.trace import StageTrace, Tracer
 from repro.ssd.admin import FEATURE_HMB, AdminState
+from repro.ssd.backends import build_backend
 from repro.ssd.cmb import ControllerMemoryBuffer
 from repro.ssd.controller import SSDController
 from repro.ssd.dma import DmaEngine
@@ -87,7 +88,13 @@ class SSDDevice:
         self.tracer = Tracer(self.resources)
         self.nand = FlashArray.create(config.ssd, config.timing)
         self.ftl = FlashTranslationLayer(nand=self.nand)
-        self.link = PcieLink(timing=config.timing)
+        #: The interconnect/placement backend (``config.backend``);
+        #: unknown names raise KeyError here, at construction.
+        self.backend = build_backend(config.backend, config.timing)
+        self.placement = self.backend.placement
+        self.link = PcieLink(
+            timing=config.timing, interconnect=self.backend.interconnect
+        )
         self.dma = DmaEngine(timing=config.timing, link=self.link)
         self.mmio = MmioWindow(timing=config.timing, link=self.link)
         self.cmb = ControllerMemoryBuffer(
@@ -101,6 +108,7 @@ class SSDDevice:
             ftl=self.ftl,
             resources=self.resources,
             tracer=self.tracer,
+            placement=self.placement,
         )
         self.queue = NvmeQueuePair(executor=self.controller.execute)
         self.admin = AdminState(spec=config.ssd)

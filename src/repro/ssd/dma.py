@@ -39,8 +39,8 @@ class DmaEngine:
             return 0.0
         self.map_established = True
         self.mappings_created += 1
-        ns = float(self.timing.dma_map_ns)
-        if tracer is not None:
+        ns = self.link.interconnect.persistent_map_ns()
+        if tracer is not None and ns:
             tracer.active.add(Stage(HOST, "hmb_setup", ns, latency=False, charged=False))
         return ns
 
@@ -49,10 +49,13 @@ class DmaEngine:
 
         Records the mapping setup as host work and the payload as link
         time, both on the request's critical path — the ~23 us the
-        paper attributes to mapping on every access.
+        paper attributes to mapping on every access.  A coherent fabric
+        has no mapping to set up: the pull degenerates to link time.
         """
-        self.mappings_created += 1
-        tracer.host("dma_map", float(self.timing.dma_map_ns))
+        map_ns = self.link.interconnect.per_access_map_ns()
+        if map_ns:
+            self.mappings_created += 1
+            tracer.host("dma_map", map_ns)
         self.link.dma_to_host(tracer, nbytes)
 
     def transfer_to_host_ns(self, nbytes: int, *, per_access_map: bool = False) -> float:
@@ -65,8 +68,9 @@ class DmaEngine:
         """
         setup = 0.0
         if per_access_map:
-            self.mappings_created += 1
-            setup = float(self.timing.dma_map_ns)
+            setup = self.link.interconnect.per_access_map_ns()
+            if setup:
+                self.mappings_created += 1
         return setup + self.link.dma_to_host_ns(nbytes)
 
     def transfer_to_device_ns(self, nbytes: int) -> float:

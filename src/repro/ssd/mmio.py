@@ -25,21 +25,31 @@ class MmioWindow:
     def pull(self, tracer: Tracer, nbytes: int) -> None:
         """Read ``nbytes`` out of the window, recording its stages.
 
-        The page fault and the non-posted load stalls are host work on
-        the critical path; the payload occupies the link but is covered
-        by the stall time, so its PCIe stage is off the latency path.
+        The page fault (PCIe only — a coherent fabric needs none) and
+        the load stalls are host work on the critical path; the payload
+        occupies the link but is covered by the stall time, so its link
+        stage is off the latency path.
         """
-        tracer.host("mmio_fault", self.fault_ns())
-        tracer.host("mmio_pull", self.read_ns(nbytes))
-        tracer.pcie("pcie_xfer", self.timing.pcie_transfer_ns(nbytes), latency=False)
+        interconnect = self.link.interconnect
+        fault = self.fault_ns()
+        if fault:
+            tracer.host("mmio_fault", fault)
+        tracer.host(interconnect.byte_read_stage, self.read_ns(nbytes))
+        tracer.pcie("pcie_xfer", interconnect.bulk_transfer_ns(nbytes), latency=False)
 
     def fault_ns(self) -> float:
-        """Page-fault cost to (re)map the window before an access."""
-        self.faults_taken += 1
-        return float(self.timing.page_fault_ns)
+        """Fault cost to (re)map the window before an access.
+
+        Zero on a coherent fabric (no BAR mapping to fault in); the
+        fault counter then stays untouched.
+        """
+        ns = self.link.interconnect.byte_fault_ns()
+        if ns:
+            self.faults_taken += 1
+        return ns
 
     def read_ns(self, nbytes: int) -> float:
-        """Read ``nbytes`` through the window (split into <=8 B loads)."""
+        """Read ``nbytes`` through the window (fabric-granular loads)."""
         return self.link.mmio_read_ns(nbytes)
 
 

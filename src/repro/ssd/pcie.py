@@ -18,14 +18,32 @@ from dataclasses import dataclass, field
 from repro.config import TimingModel
 from repro.sim.stats import TrafficMeter
 from repro.sim.trace import Tracer
+from repro.ssd.backends.base import Interconnect
+
+
+def _default_interconnect(timing: TimingModel) -> Interconnect:
+    from repro.ssd.backends.pcie_gen3 import PcieGen3Interconnect
+
+    return PcieGen3Interconnect(timing)
 
 
 @dataclass
 class PcieLink:
-    """Shared link between host and SSD (Gen3 x4 by default)."""
+    """Shared host/device link, costed by a pluggable interconnect.
+
+    Despite the historical name, the link is fabric-agnostic: transfer
+    costs come from the injected :class:`Interconnect` (PCIe Gen3 x4
+    when none is given), while traffic metering and stage recording —
+    which every fabric shares — stay here.
+    """
 
     timing: TimingModel
     traffic: TrafficMeter = field(default_factory=TrafficMeter)
+    interconnect: Interconnect | None = None
+
+    def __post_init__(self) -> None:
+        if self.interconnect is None:
+            self.interconnect = _default_interconnect(self.timing)
 
     # --- traced transfers (record into the active request) -------------
     def dma_to_host(
@@ -63,36 +81,38 @@ class PcieLink:
 
     # --- cost/metering primitives --------------------------------------
     def dma_to_host_ns(self, nbytes: int) -> float:
-        """Device-to-host DMA: meter traffic, return transfer time."""
+        """Device-to-host bulk transfer: meter traffic, return time."""
         if nbytes < 0:
             raise ValueError("negative transfer")
         if nbytes == 0:
             return 0.0
         self.traffic.device_read(nbytes)
-        return self.timing.pcie_transfer_ns(nbytes)
+        return self.interconnect.bulk_transfer_ns(nbytes)
 
     def dma_to_device_ns(self, nbytes: int) -> float:
-        """Host-to-device DMA (writes, Info Area doorbells)."""
+        """Host-to-device bulk transfer (writes, Info Area doorbells)."""
         if nbytes < 0:
             raise ValueError("negative transfer")
         if nbytes == 0:
             return 0.0
         self.traffic.device_write(nbytes)
-        return self.timing.pcie_transfer_ns(nbytes)
+        return self.interconnect.bulk_transfer_ns(nbytes)
 
     def mmio_read_ns(self, nbytes: int) -> float:
-        """Host-initiated MMIO read from a BAR window (non-posted).
+        """Host-initiated byte read out of device memory.
 
-        The read is split into at most ``mmio_payload_bytes`` (8 B)
-        transactions, each paying a full round trip — the reason 2B-SSD
-        MMIO latency grows linearly with request size (paper Fig. 8).
+        On PCIe the read is split into at most ``mmio_payload_bytes``
+        (8 B) non-posted transactions, each paying a full round trip —
+        the reason 2B-SSD MMIO latency grows linearly with request size
+        (paper Fig. 8).  A coherent fabric (``cxl_lmb``) instead pays
+        one load round trip per cacheline.
         """
         if nbytes < 0:
             raise ValueError("negative transfer")
         if nbytes == 0:
             return 0.0
         self.traffic.device_read(nbytes)
-        return self.timing.mmio_read_ns(nbytes)
+        return self.interconnect.byte_read_ns(nbytes)
 
 
 __all__ = ["PcieLink"]
