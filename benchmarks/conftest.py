@@ -78,8 +78,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
         except SyntaxError:
             continue
     index = {ctx.module_name: ctx.flow.summaries for ctx in contexts}
+    unit_index = {ctx.module_name: ctx.units.summaries for ctx in contexts}
     for ctx in contexts:
         ctx.flow.package_index = index
+        ctx.units.module_index = unit_index
     flow_s = time.perf_counter() - started  # simlint: allow[virtual-time-purity]
 
     rule_times: list[tuple[str, float]] = []
@@ -92,10 +94,28 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
     writer = terminalreporter
     writer.section("simlint rule-walk time (src/repro)")
     writer.write_line(
-        f"parse + flow analysis + package index: {flow_s * 1000:.1f} ms "
+        f"parse + flow/unit analyses + indexes: {flow_s * 1000:.1f} ms "
         f"({len(contexts)} modules)"
     )
     for rule_id, elapsed in sorted(rule_times, key=lambda item: -item[1]):
         writer.write_line(f"  {rule_id:<28} {elapsed * 1000:7.1f} ms")
     total = flow_s + sum(elapsed for _, elapsed in rule_times)
     writer.write_line(f"  {'total':<28} {total * 1000:7.1f} ms")
+
+    # The lint datapoint of the perf trajectory (EXPERIMENTS.md):
+    # end-to-end files/sec over the whole tree, per-rule breakdown.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "modules": len(contexts),
+        "rules_walked": len(rule_times),
+        "parse_and_analysis_ms": round(flow_s * 1000, 3),
+        "total_ms": round(total * 1000, 3),
+        "files_per_sec": round(len(contexts) / total, 1) if total else None,
+        "rule_ms": {
+            rule_id: round(elapsed * 1000, 3) for rule_id, elapsed in rule_times
+        },
+    }
+    (RESULTS_DIR / "BENCH_simlint.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    writer.write_line("  -> results/BENCH_simlint.json")

@@ -266,6 +266,11 @@ class TimingModel:
         return nbytes / self.dram_bw_bytes_per_ns
 
 
+#: Bytes one Info Area record occupies in the HMB: destination address,
+#: byte offset, byte length — three 32-bit fields (paper Figure 3).
+INFO_ENTRY_BYTES = 12
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """Host memory budgets and fine-grained read cache parameters."""
@@ -335,6 +340,16 @@ class CacheConfig:
     def page_cache_bytes(self) -> int:
         """Initial page-cache budget (remainder of the shared memory)."""
         return self.shared_memory_bytes - self.fgrc_bytes
+
+    @property
+    def info_area_bytes(self) -> int:
+        """HMB footprint of the Info Area descriptor ring."""
+        return self.info_area_entries * INFO_ENTRY_BYTES
+
+    @property
+    def hmb_needed_bytes(self) -> int:
+        """Total HMB the cache layout occupies (info + tempbuf + data)."""
+        return self.info_area_bytes + self.tempbuf_bytes + self.fgrc_bytes
 
 
 @dataclass(frozen=True)

@@ -71,8 +71,8 @@ class FineGrainedReadCache:
         #: perturb each other's sequences.
         self._rng = random.Random(cache_config.rng_seed if seed is None else seed)
 
-        info_bytes = cache_config.info_area_entries * 12
-        needed = info_bytes + cache_config.tempbuf_bytes + cache_config.fgrc_bytes
+        info_bytes = cache_config.info_area_bytes
+        needed = cache_config.hmb_needed_bytes
         if needed > hmb.size:
             raise ValueError(
                 f"HMB of {hmb.size} B cannot hold info({info_bytes}) + "

@@ -47,7 +47,7 @@ class ExperimentScale:
 
     def sim_config(self) -> SimConfig:
         cache = self.cache_config()
-        hmb_needed = cache.fgrc_bytes + cache.tempbuf_bytes + cache.info_area_entries * 12
+        hmb_needed = cache.hmb_needed_bytes
         spec = SSDSpec(mapping_region_bytes=max(64 * MIB, hmb_needed + MIB))
         return SimConfig(ssd=spec, cache=cache, transfer_data=self.transfer_data)
 

@@ -47,7 +47,7 @@ def run(scale: ExperimentScale | None = None) -> ExperimentOutcome:
         cache = dataclasses.replace(
             base.cache, fgrc_bytes=fgrc_bytes, dynalloc_enabled=False
         )
-        hmb_needed = fgrc_bytes + cache.tempbuf_bytes + cache.info_area_entries * 12
+        hmb_needed = cache.hmb_needed_bytes
         ssd = dataclasses.replace(
             base.ssd, mapping_region_bytes=max(base.ssd.mapping_region_bytes, hmb_needed + slab)
         )

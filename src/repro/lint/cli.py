@@ -1,8 +1,11 @@
 """``python -m repro.lint``: the simlint command line.
 
 Exit codes: 0 clean (or fully baselined/suppressed), 1 findings
-reported, 2 bad invocation.  See ``docs/LINTING.md`` for the rule
-catalogue and the suppression/baseline workflow.
+reported, 2 crash or configuration error (bad invocation, unreadable
+paths, corrupt baseline, internal error) — so CI can tell "the tree
+has findings" from "the linter never actually ran".  See
+``docs/LINTING.md`` for the rule catalogue and the
+suppression/baseline workflow.
 """
 
 from __future__ import annotations
@@ -43,17 +46,37 @@ def _emit_json(findings: list[Finding], stale: list[tuple[str, str, int]]) -> No
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command *message*: %, CR, LF.
+
+    Raw newlines would truncate the annotation at the first line and
+    leak the rest as terminal noise; a literal ``::`` inside data is
+    harmless once ``%`` is escaped first.
+    """
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command *property* (file=, title=): also : and ,."""
+    return _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+
+
 def _emit_github(findings: list[Finding], stale: list[tuple[str, str, int]]) -> None:
     """GitHub Actions workflow commands: inline PR annotations."""
     for finding in findings:
-        location = f"file={finding.path},line={finding.line}"
+        location = f"file={_escape_property(finding.path)},line={finding.line}"
         if finding.end_line is not None and finding.end_line > finding.line:
             location += f",endLine={finding.end_line}"
-        print(f"::error {location},title=simlint[{finding.rule}]::{finding.message}")
+        title = _escape_property(f"simlint[{finding.rule}]")
+        print(f"::error {location},title={title}::{_escape_data(finding.message)}")
     for path, rule, count in stale:
+        message = _escape_data(
+            f"stale baseline entry [{rule}] x{count} — the violations are "
+            "gone; remove it"
+        )
         print(
-            f"::warning file={path},title=simlint[baseline]::stale baseline "
-            f"entry [{rule}] x{count} — the violations are gone; remove it"
+            f"::warning file={_escape_property(path)},"
+            f"title=simlint[baseline]::{message}"
         )
 
 
@@ -125,6 +148,12 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"simlint: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:  # crash in the engine or a rule
+        print(
+            f"simlint: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     if args.write_baseline:
@@ -140,7 +169,11 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        baseline = baseline_mod.load(baseline_path)
+        try:
+            baseline = baseline_mod.load(baseline_path)
+        except (OSError, ValueError, TypeError, AttributeError) as exc:
+            print(f"simlint: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
         findings, stale = baseline_mod.apply(findings, baseline)
         pruned = baseline_mod.prune(baseline, stale)
         baseline_mod.save(pruned, baseline_path)
@@ -165,7 +198,12 @@ def main(argv: list[str] | None = None) -> int:
 
     stale: list[tuple[str, str, int]] = []
     if not args.no_baseline and baseline_path.exists():
-        findings, stale = baseline_mod.apply(findings, baseline_mod.load(baseline_path))
+        try:
+            baseline = baseline_mod.load(baseline_path)
+        except (OSError, ValueError, TypeError, AttributeError) as exc:
+            print(f"simlint: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+        findings, stale = baseline_mod.apply(findings, baseline)
 
     if args.format == "json":
         _emit_json(findings, stale)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.lint.flow import FlowAnalysis
+from repro.lint.units import UnitAnalysis
 
 
 @dataclass
@@ -78,6 +79,16 @@ class ModuleContext:
         an empty index and degrade to intra-module analysis.
         """
         return FlowAnalysis(self.tree, module_name=self.module_name)
+
+    @cached_property
+    def units(self) -> UnitAnalysis:
+        """The module's dimensional analysis; built lazily, shared.
+
+        Like ``flow``, directory runs install a shared module index
+        (``ctx.units.module_index``) before linting so call results
+        and parameter dims resolve across files.
+        """
+        return UnitAnalysis(self.tree, module_name=self.module_name)
 
 
 __all__ = ["ModuleContext"]

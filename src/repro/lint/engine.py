@@ -129,8 +129,10 @@ def run(
     # Phase 2: share one package index so cross-module call sites
     # resolve against every sibling's function summaries.
     index = {ctx.module_name: ctx.flow.summaries for ctx in contexts}
+    unit_index = {ctx.module_name: ctx.units.summaries for ctx in contexts}
     for ctx in contexts:
         ctx.flow.package_index = index
+        ctx.units.module_index = unit_index
     rules = selected if selected is not None else list(RULES.values())
     for ctx in contexts:
         findings.extend(_lint_context(ctx, rules, report_unused=selected is None))

@@ -6,8 +6,10 @@ the same ``@register`` decorator before invoking the engine.
 """
 
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    backend_contract,
     concurrency,
     determinism,
+    dimension,
     rng,
     stage_charging,
     units,

@@ -1,0 +1,385 @@
+"""backend-contract-conformance: static checks for device backends.
+
+:func:`repro.ssd.backends.base.build_backend` constructs whatever the
+registry hands it; nothing at runtime verifies a backend class actually
+implements the :class:`Interconnect` / :class:`BufferPlacement`
+surface until a simulation dies mid-run (or worse, silently inherits a
+zero-cost default).  This rule is the static counterpart:
+
+- an ``Interconnect`` subclass must define both required cost methods
+  (``bulk_transfer_ns``, ``byte_read_ns``) unless it is itself
+  abstract (contains ``@abstractmethod`` definitions);
+- every overridden contract method — on either surface — must keep the
+  contract's positional parameter names, which pins the signature's
+  *dimensions* too (``nbytes`` stays bytes, ``*_ns`` hooks stay
+  durations; the body's return dims are checked by the unit rules);
+- **shared mutable module-level state** in backend modules is flagged
+  when it is mutated from function or method bodies: one backend
+  object can serve many simulated systems, so module-global dicts and
+  lists are cross-system channels the happens-before checker
+  (:mod:`repro.sim.racecheck`) cannot see.  The one sanctioned pattern
+  is import-time registration — mutations inside a ``register*``
+  function (the ``BACKENDS`` registry) are exempt;
+- mutable literals as *class attributes* of a backend class are always
+  flagged: they are shared across every instance of the backend.
+
+Scope: modules under a ``backends/`` directory, plus any module that
+defines a backend class (bases named ``*Interconnect`` /
+``*Placement``), wherever it lives — fixtures included.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, register
+
+#: Required Interconnect methods -> positional params after ``self``.
+INTERCONNECT_REQUIRED: dict[str, tuple[str, ...]] = {
+    "bulk_transfer_ns": ("nbytes",),
+    "byte_read_ns": ("nbytes",),
+}
+
+#: Optional Interconnect cost hooks (zero-argument durations).
+INTERCONNECT_OPTIONAL: dict[str, tuple[str, ...]] = {
+    "byte_fault_ns": (),
+    "per_access_map_ns": (),
+    "persistent_map_ns": (),
+}
+
+#: BufferPlacement surface -> positional params after ``self``
+#: (keyword-only params like ``pages``/``ppn`` are free to vary).
+PLACEMENT_METHODS: dict[str, tuple[str, ...]] = {
+    "handle_for_class": ("class_index",),
+    "stage_destination": ("dest_addr", "handle"),
+    "pop_destination": ("dest_addr",),
+    "record_admission": ("handle", "nbytes"),
+    "record_read": ("handle", "nbytes"),
+    "record_write": ("handle", "nbytes"),
+    "stats": (),
+}
+
+#: Container constructors whose module-level result is mutable state.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _base_contract(base: ast.expr) -> str | None:
+    """``"interconnect"`` / ``"placement"`` when a base names a surface."""
+    if isinstance(base, ast.Attribute):
+        name = base.attr
+    elif isinstance(base, ast.Name):
+        name = base.id
+    else:
+        return None
+    if name.endswith("Interconnect") or name == "Interconnect":
+        return "interconnect"
+    if name.endswith("Placement") or name == "BufferPlacement":
+        return "placement"
+    return None
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                leaf = decorator.attr if isinstance(decorator, ast.Attribute) else (
+                    decorator.id if isinstance(decorator, ast.Name) else None
+                )
+                if leaf == "abstractmethod":
+                    return True
+    return False
+
+
+def _positional_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = fn.args
+    params = tuple(arg.arg for arg in (*args.posonlyargs, *args.args))
+    return params[1:] if params[:1] in (("self",), ("cls",)) else params
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        return leaf in _MUTABLE_CALLS
+    return False
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names the function binds itself (params, assignments, loops)."""
+    names = {
+        arg.arg
+        for arg in (
+            *fn.args.posonlyargs,
+            *fn.args.args,
+            *fn.args.kwonlyargs,
+            *( (fn.args.vararg,) if fn.args.vararg else () ),
+            *( (fn.args.kwarg,) if fn.args.kwarg else () ),
+        )
+    }
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_flat_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_flat_names(node.target))
+        elif isinstance(node, ast.Global):
+            names.difference_update(node.names)
+    return names
+
+
+def _flat_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names |= _flat_names(element)
+        return names
+    return set()
+
+
+@register
+class BackendContractConformance(Rule):
+    id = "backend-contract-conformance"
+    description = (
+        "backend classes must implement the Interconnect/BufferPlacement "
+        "surface with the contract's parameter names, and backend modules "
+        "must not share mutable module-level state outside import-time "
+        "registration"
+    )
+    packages = None  # keyed off backend classes/paths, not packages
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        backend_classes = [
+            (node, contract)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+            for contract in (self._class_contract(node),)
+            if contract is not None
+        ]
+        in_backend_dir = "/backends/" in ctx.path.replace("\\", "/")
+        if not backend_classes and not in_backend_dir:
+            return []
+        findings: list[Finding] = []
+        for cls, contract in backend_classes:
+            findings.extend(self._check_class(ctx, cls, contract))
+        findings.extend(self._check_module_state(ctx))
+        return findings
+
+    @staticmethod
+    def _class_contract(cls: ast.ClassDef) -> str | None:
+        for base in cls.bases:
+            contract = _base_contract(base)
+            if contract is not None:
+                return contract
+        return None
+
+    # --- surface conformance ------------------------------------------
+    def _check_class(
+        self, ctx: ModuleContext, cls: ast.ClassDef, contract: str
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        methods = {
+            node.name: node
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if contract == "interconnect":
+            required, optional = INTERCONNECT_REQUIRED, INTERCONNECT_OPTIONAL
+        else:
+            required, optional = {}, PLACEMENT_METHODS
+        if not _is_abstract(cls):
+            for name, params in sorted(required.items()):
+                if name not in methods:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            cls,
+                            f"backend class `{cls.name}` does not implement the "
+                            f"required Interconnect method `{name}(self, "
+                            f"{', '.join(params)})`",
+                        )
+                    )
+        surface = {**required, **optional}
+        for name, fn in sorted(methods.items()):
+            expected = surface.get(name)
+            if expected is None:
+                continue
+            actual = _positional_params(fn)
+            if actual != expected:
+                shown = ", ".join(expected) or "no positional parameters"
+                findings.append(
+                    self.finding(
+                        ctx,
+                        fn,
+                        f"`{cls.name}.{name}` takes positional parameters "
+                        f"({', '.join(actual) or 'none'}) but the "
+                        f"{contract} contract declares ({shown}); renaming "
+                        "or re-shaping the signature silently changes which "
+                        "dimension each argument carries",
+                    )
+                )
+        for node in cls.body:
+            if isinstance(node, ast.Assign) and _is_mutable_value(node.value):
+                targets = ", ".join(sorted(_flat_names(node.targets[0])))
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"mutable class attribute `{targets}` on backend class "
+                        f"`{cls.name}` is shared by every instance; initialize "
+                        "it per instance in __init__",
+                    )
+                )
+        return findings
+
+    # --- shared mutable module-level state ----------------------------
+    def _check_module_state(self, ctx: ModuleContext) -> list[Finding]:
+        mutable_globals: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and _is_mutable_value(node.value):
+                for target in node.targets:
+                    mutable_globals |= _flat_names(target)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and _is_mutable_value(node.value)
+            ):
+                mutable_globals.add(node.target.id)
+        if not mutable_globals:
+            return []
+        findings: list[Finding] = []
+        for fn in ctx.tree.body:
+            findings.extend(self._scan_scope(ctx, fn, mutable_globals, exempt=False))
+        return findings
+
+    def _scan_scope(
+        self,
+        ctx: ModuleContext,
+        node: ast.stmt,
+        shared: set[str],
+        *,
+        exempt: bool,
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        if isinstance(node, ast.ClassDef):
+            for inner in node.body:
+                findings.extend(self._scan_scope(ctx, inner, shared, exempt=exempt))
+            return findings
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return findings
+        exempt = exempt or node.name.startswith("register")
+        visible = shared - _local_names(node)
+        for stmt in node.body:
+            findings.extend(self._scan_statements(ctx, stmt, visible, exempt=exempt))
+        return findings
+
+    def _scan_statements(
+        self,
+        ctx: ModuleContext,
+        stmt: ast.stmt,
+        shared: set[str],
+        *,
+        exempt: bool,
+    ) -> list[Finding]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return self._scan_scope(ctx, stmt, shared, exempt=exempt)
+        findings: list[Finding] = []
+        if not exempt:
+            for name in self._mutations(stmt, shared):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        stmt,
+                        f"module-level mutable `{name}` is mutated at run time; "
+                        "backend objects are shared across simulated systems, "
+                        "so module-global state couples their results — keep "
+                        "state on the backend instance (import-time "
+                        "`register*` population is the sanctioned exception)",
+                    )
+                )
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                findings.extend(
+                    self._scan_statements(ctx, child, shared, exempt=exempt)
+                )
+        return findings
+
+    @staticmethod
+    def _mutations(stmt: ast.stmt, shared: set[str]) -> list[str]:
+        """Shared names this single statement mutates (not recursive
+        into nested statements; expressions are walked)."""
+        hits: list[str] = []
+
+        def root_name(expr: ast.expr) -> str | None:
+            if isinstance(expr, ast.Subscript):
+                return root_name(expr.value)
+            if isinstance(expr, ast.Name):
+                return expr.id
+            return None
+
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                name = root_name(target)
+                if name in shared:
+                    hits.append(name)
+            elif isinstance(target, ast.Name) and isinstance(stmt, ast.AugAssign):
+                if target.id in shared:
+                    hits.append(target.id)
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in shared
+            ):
+                hits.append(node.func.value.id)
+        return hits
+
+
+__all__ = [
+    "BackendContractConformance",
+    "INTERCONNECT_OPTIONAL",
+    "INTERCONNECT_REQUIRED",
+    "PLACEMENT_METHODS",
+]

@@ -31,8 +31,11 @@ class WorkloadProfile:
     distinct_ranges: int = 0
     #: Reads whose exact range was seen before (upper-bounds FGRC hits).
     repeated_reads: int = 0
-    #: Distinct 4 KiB pages touched by reads.
+    #: Distinct flash pages touched by reads (at ``page_bytes`` each).
     distinct_pages: int = 0
+    #: Page size the profile was computed at (``characterize``'s
+    #: ``page_size``); the working-set property must use the same value.
+    page_bytes: int = 4096
     #: Bytes of the byte-granular working set (sum of distinct ranges).
     fine_working_set_bytes: int = 0
     top_range_share: float = 0.0
@@ -53,7 +56,7 @@ class WorkloadProfile:
 
     @property
     def page_working_set_bytes(self) -> int:
-        return self.distinct_pages * 4096
+        return self.distinct_pages * self.page_bytes
 
     @property
     def amplification_headroom(self) -> float:
@@ -70,7 +73,7 @@ def characterize(
     lru_points: tuple[int, ...] = (1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16),
 ) -> WorkloadProfile:
     """Single-pass exact characterization of a trace."""
-    profile = WorkloadProfile()
+    profile = WorkloadProfile(page_bytes=page_size)
     seen_ranges: set[tuple[str, int, int]] = set()
     pages: set[tuple[str, int]] = set()
     counts: Counter = Counter()

@@ -1,0 +1,58 @@
+"""Fixture: backend-contract-conformance counterexamples (never executed).
+
+The rule keys off the *name* of the base class, so these local
+stand-ins trigger it exactly like the real
+``repro.ssd.backends.base`` contract classes (which are themselves
+exempt: they declare no backend base).
+"""
+
+
+class Interconnect:
+    """Stand-in for the contract base (no bases: not itself checked)."""
+
+
+class BufferPlacement:
+    """Stand-in for the placement base."""
+
+
+REGISTRY = {}
+_SHARED_HITS = []
+
+
+def register_fixture(name, factory):
+    REGISTRY[name] = factory  # ok: import-time registration
+
+
+def record_hit(handle):
+    _SHARED_HITS.append(handle)  # expect: backend-contract-conformance
+
+
+class HalfLink(Interconnect):  # expect: backend-contract-conformance
+    """Implements bulk transfers but forgot the byte-read path."""
+
+    name = "half"
+
+    def bulk_transfer_ns(self, nbytes):
+        ...
+
+
+class ShapedLink(Interconnect):
+    name = "shaped"
+    recent = []  # expect: backend-contract-conformance
+
+    def bulk_transfer_ns(self, nbytes):
+        ...
+
+    def byte_read_ns(self, count):  # expect: backend-contract-conformance
+        ...
+
+    def byte_fault_ns(self, nbytes):  # expect: backend-contract-conformance
+        ...
+
+
+class SwappedPlacement(BufferPlacement):
+    def record_read(self, nbytes, handle):  # expect: backend-contract-conformance
+        ...
+
+    def stats(self):
+        ...

@@ -1,0 +1,24 @@
+"""Fixture: dimension-mismatch counterexamples (never executed).
+
+The suffix rule sees none of these: each mismatch is only visible once
+dims flow through locals, helper returns, or call arguments.
+"""
+
+
+def helper_delay_ns(base_ns, scale_factor):
+    """Suffix-declared return: time (ns)."""
+    return base_ns * scale_factor
+
+
+def combine(read_ns, payload_bytes, victim_pages):
+    total = read_ns + payload_bytes  # expect: dimension-mismatch
+    if read_ns > payload_bytes:  # expect: dimension-mismatch
+        total = read_ns
+    worst = max(read_ns, payload_bytes)  # expect: dimension-mismatch
+    budget_ns = payload_bytes  # expect: dimension-mismatch
+    through_helper = helper_delay_ns(read_ns, 2) + payload_bytes  # expect: dimension-mismatch
+    arg_flip = helper_delay_ns(payload_bytes, 2)  # expect: dimension-mismatch
+    hot = victim_pages + read_ns  # expect: dimension-mismatch
+    hot += payload_bytes  # ok: `hot` widened to unknown above
+    converted_ns = helper_delay_ns(read_ns, 3)  # ok: helper returns ns
+    return total, worst, budget_ns, through_helper, arg_flip, hot, converted_ns

@@ -6,5 +6,5 @@ def total(delta_ns, delta_us, used_bytes, limit_pages):
     bad_cmp = used_bytes < limit_pages  # expect: unit-suffix-consistency
     delta_ns += delta_us  # expect: unit-suffix-consistency
     converted = delta_ns + 1_000 * delta_us  # ok: explicit conversion factor
-    ratio = used_bytes / limit_pages  # ok: division forms a rate, not a sum
-    return bad_sum, bad_cmp, converted, ratio
+    density = used_bytes / limit_pages  # ok: division forms a rate, not a sum
+    return bad_sum, bad_cmp, converted, density

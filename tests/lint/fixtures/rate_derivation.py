@@ -1,0 +1,18 @@
+"""Fixture: rate-derivation counterexamples (never executed).
+
+A ``*``/``/`` derivation must produce the dimension the target (or the
+enclosing function's name) declares; inverted divisions are the classic
+bytes/ns-vs-ns/byte bug.
+"""
+
+
+def window_ns(span_bytes, link_bpns):
+    return span_bytes * link_bpns  # expect: rate-derivation
+
+
+def bandwidth(total_bytes, elapsed_ns, link_bpns):
+    bw_bytes_per_ns = elapsed_ns / total_bytes  # expect: rate-derivation
+    cost_ns = total_bytes * link_bpns  # expect: rate-derivation
+    ok_ns = total_bytes / link_bpns  # ok: bytes / (bytes/ns) is ns
+    ok_bpns = total_bytes / elapsed_ns  # ok: bytes / ns is the rate
+    return bw_bytes_per_ns, cost_ns, ok_ns, ok_bpns

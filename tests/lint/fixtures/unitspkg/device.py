@@ -1,0 +1,14 @@
+"""A deliberately incomplete backend class inside the package."""
+
+
+class Interconnect:
+    """Stand-in contract base (see backend_incomplete.py)."""
+
+
+class TruncatedLink(Interconnect):  # expect: backend-contract-conformance
+    """Has the bulk path; the byte-read half of the contract is missing."""
+
+    name = "truncated"
+
+    def bulk_transfer_ns(self, nbytes):
+        ...

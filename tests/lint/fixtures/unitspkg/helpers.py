@@ -1,0 +1,11 @@
+"""Helpers another module imports: unit summaries the index must export."""
+
+
+def sense_cost_ns(span_bytes, link_bpns):
+    """Suffix-declared time return; params declare bytes and bytes/ns."""
+    return span_bytes / link_bpns
+
+
+def chunk(total_bytes, n_count):
+    """No suffix on the name: the size return dim is *inferred*."""
+    return total_bytes / n_count

@@ -1,0 +1,14 @@
+"""Calls the helpers: dims must resolve through the shared module index."""
+
+from helpers import chunk, sense_cost_ns
+
+
+def schedule(tracer, span_bytes, link_bpns, deadline_ns):
+    cost = sense_cost_ns(span_bytes, link_bpns)
+    slack_bytes = deadline_ns - cost  # expect: dimension-mismatch
+    flipped = sense_cost_ns(deadline_ns, link_bpns)  # expect: dimension-mismatch
+    bw_bpns = cost / span_bytes  # expect: rate-derivation
+    piece_ns = chunk(span_bytes, 4)  # expect: dimension-mismatch
+    tracer.host("probe", 1_234)  # expect: suffixless-cost-literal
+    budget_ns = deadline_ns - cost  # ok: ns - ns through the helper
+    return slack_bytes, flipped, bw_bpns, piece_ns, budget_ns

@@ -183,3 +183,59 @@ def test_update_baseline_without_file_is_usage_error(tmp_path: Path, monkeypatch
     target.write_text(VIOLATION)
     assert main(["mod.py", "--update-baseline"]) == 2
     assert "no baseline" in capsys.readouterr().err
+
+
+# --- exit code 2: crash/config errors vs. findings --------------------
+
+
+def test_engine_crash_exits_two(tmp_path: Path, monkeypatch, capsys) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+
+    def boom(paths, *, rule_ids=None):
+        raise RuntimeError("rule exploded")
+
+    monkeypatch.setattr("repro.lint.cli.run", boom)
+    assert main([str(target)]) == 2
+    err = capsys.readouterr().err
+    assert "internal error" in err
+    assert "rule exploded" in err
+
+
+def test_corrupt_baseline_exits_two(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text(VIOLATION)
+    (tmp_path / "simlint-baseline.json").write_text("{not json")
+    assert main(["mod.py"]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_corrupt_baseline_update_exits_two(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text(VIOLATION)
+    (tmp_path / "simlint-baseline.json").write_text('{"version": 99}')
+    assert main(["mod.py", "--update-baseline"]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+# --- github format escaping -------------------------------------------
+
+
+def test_github_escaping_of_messages_and_properties(capsys) -> None:
+    from repro.lint.cli import _emit_github
+    from repro.lint.findings import Finding
+
+    finding = Finding(
+        path="odd,name.py",
+        line=3,
+        rule="demo-rule",
+        message="first :: line\nsecond % line",
+    )
+    _emit_github([finding], [])
+    out = capsys.readouterr().out
+    # One physical line: the newline is %0A, % is %25, and the comma in
+    # the path cannot terminate the file= property early.
+    assert out == (
+        "::error file=odd%2Cname.py,line=3,"
+        "title=simlint[demo-rule]::first :: line%0Asecond %25 line\n"
+    )

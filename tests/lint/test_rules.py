@@ -25,6 +25,10 @@ FIXTURE_RULES = {
     "bare_charge.py": "stage-charging",
     "aliased_clock.py": "stage-charging",
     "mixed_units.py": "unit-suffix-consistency",
+    "dimension_mismatch.py": "dimension-mismatch",
+    "rate_derivation.py": "rate-derivation",
+    "cost_literal.py": "suffixless-cost-literal",
+    "backend_incomplete.py": "backend-contract-conformance",
     "set_iteration.py": "deterministic-iteration",
     "shared_mutation.py": "shared-state-mutation",
     "float_time_eq.py": "float-time-equality",
@@ -132,9 +136,15 @@ def test_seeded_numpy_generator_is_clean() -> None:
 
 
 def test_unit_mixing_across_dimensions_is_allowed() -> None:
-    # bytes / ns is a bandwidth; size-vs-time mixing is meaningful.
-    source = "def f(n_bytes, window_ns):\n    return n_bytes + window_ns\n"
+    # bytes / ns is a bandwidth: *dividing* across dimensions is
+    # meaningful and stays clean ...
+    source = "def f(n_bytes, window_ns):\n    return n_bytes / window_ns\n"
     assert not lint_source(source, "src/repro/sim/thing.py")
+    # ... but *adding* them is exactly what the dimensional analysis
+    # (simlint v3) exists to catch; the suffix rule still stays quiet.
+    source = "def f(n_bytes, window_ns):\n    return n_bytes + window_ns\n"
+    findings = lint_source(source, "src/repro/sim/thing.py")
+    assert {f.rule for f in findings} == {"dimension-mismatch"}
 
 
 def test_syntax_error_becomes_finding() -> None:
