@@ -23,6 +23,12 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 #: ``results/BENCH_backend_matrix.json`` at the end of the session.
 BACKEND_MATRIX_QPS: dict[str, float] = {}
 
+#: Cluster-layer throughput (virtual requests/sec and simulator
+#: events/sec per replica policy), filled in by
+#: ``benchmarks/test_cluster.py`` and written out as
+#: ``results/BENCH_cluster.json`` at the end of the session.
+CLUSTER_BENCH: dict[str, dict[str, float]] = {}
+
 
 @pytest.fixture(scope="session")
 def scale():
@@ -59,6 +65,23 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
         for backend, qps in sorted(BACKEND_MATRIX_QPS.items()):
             terminalreporter.write_line(f"  {backend:<12} {qps:12.1f} req/s (virtual)")
         terminalreporter.write_line("  -> results/BENCH_backend_matrix.json")
+
+    if CLUSTER_BENCH:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {
+            policy: dict(sorted(stats.items()))
+            for policy, stats in sorted(CLUSTER_BENCH.items())
+        }
+        (RESULTS_DIR / "BENCH_cluster.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        terminalreporter.section("cluster throughput by replica policy")
+        for policy, stats in sorted(CLUSTER_BENCH.items()):
+            terminalreporter.write_line(
+                f"  {policy:<18} {stats['virtual_qps']:12.1f} req/s (virtual)"
+                f"  {stats['events_per_sec']:12.1f} events/s (wall)"
+            )
+        terminalreporter.write_line("  -> results/BENCH_cluster.json")
 
     from repro.lint.context import ModuleContext
     from repro.lint.engine import iter_python_files

@@ -1,0 +1,124 @@
+"""Replica-read policies: which copy (or copies) a read touches.
+
+The ring gives every key an ordered replica set; the policy decides
+where the router actually sends the read:
+
+- :class:`PrimaryOnly` — always the first replica.  The baseline every
+  tail-amplification number is measured against: one slow server
+  stretches every request whose key it owns.
+- :class:`LeastOutstanding` — the replica with the fewest router-visible
+  outstanding attempts (ties broken by replica rank, so the choice is a
+  pure function of router state).  The classic load-aware picker: a
+  stalled server's backlog grows, and new arrivals steer around it.
+- :class:`Hedged` — primary first; if it has not answered after
+  ``hedge_delay_ns``, a second attempt goes to the best remaining
+  replica, first answer wins and the loser is cancelled (dropped from
+  the ring if not yet dispatched, counted as wasted work if already in
+  the stage pipeline).  The tail-tolerance pattern of "The Tail at
+  Scale" — pay a small duplicate-work tax to cap p99.9.
+
+Policies are pure decision functions over ``(replica set, outstanding
+counts)``; all mechanics (timers, cancellation, completion accounting)
+live in the router, so policies stay trivially deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable
+
+PRIMARY = "primary"
+LEAST_OUTSTANDING = "least_outstanding"
+HEDGED = "hedged"
+
+#: Router-visible outstanding-attempt count per server name.
+OutstandingFn = Callable[[str], int]
+
+
+class ReplicaPolicy(abc.ABC):
+    """Decides the first target and (optionally) a hedge."""
+
+    name: str = ""
+    #: Delay before a second attempt; ``None`` disables hedging.
+    hedge_delay_ns: float | None = None
+
+    @abc.abstractmethod
+    def pick(self, replicas: tuple[str, ...], outstanding: OutstandingFn) -> str:
+        """Server for the first attempt."""
+
+    def hedge_pick(
+        self, replicas: tuple[str, ...], first: str, outstanding: OutstandingFn
+    ) -> str | None:
+        """Server for the hedged attempt (``None`` = nowhere to hedge)."""
+        best: str | None = None
+        best_key: tuple[int, int] | None = None
+        for rank, server in enumerate(replicas):
+            if server == first:
+                continue
+            key = (outstanding(server), rank)
+            if best_key is None or key < best_key:
+                best, best_key = server, key
+        return best
+
+
+class PrimaryOnly(ReplicaPolicy):
+    name = PRIMARY
+
+    def pick(self, replicas: tuple[str, ...], outstanding: OutstandingFn) -> str:
+        return replicas[0]
+
+
+class LeastOutstanding(ReplicaPolicy):
+    name = LEAST_OUTSTANDING
+
+    def pick(self, replicas: tuple[str, ...], outstanding: OutstandingFn) -> str:
+        best = replicas[0]
+        best_key = (outstanding(best), 0)
+        for rank, server in enumerate(replicas[1:], start=1):
+            key = (outstanding(server), rank)
+            if key < best_key:
+                best, best_key = server, key
+        return best
+
+
+class Hedged(ReplicaPolicy):
+    name = HEDGED
+
+    def __init__(self, hedge_delay_ns: float) -> None:
+        if not math.isfinite(hedge_delay_ns) or hedge_delay_ns <= 0:
+            raise ValueError(f"invalid hedge delay {hedge_delay_ns!r}")
+        self.hedge_delay_ns = hedge_delay_ns
+
+    def pick(self, replicas: tuple[str, ...], outstanding: OutstandingFn) -> str:
+        return replicas[0]
+
+
+#: Policy name -> constructor; ``hedge_delay_ns`` is only consumed by
+#: the hedged policy.
+POLICIES: dict[str, Callable[[float], ReplicaPolicy]] = {
+    PRIMARY: lambda hedge_delay_ns: PrimaryOnly(),
+    LEAST_OUTSTANDING: lambda hedge_delay_ns: LeastOutstanding(),
+    HEDGED: lambda hedge_delay_ns: Hedged(hedge_delay_ns),
+}
+
+
+def build_policy(name: str, hedge_delay_ns: float) -> ReplicaPolicy:
+    factory = POLICIES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown replica policy {name!r}; choose from {sorted(POLICIES)}")
+    return factory(hedge_delay_ns)
+
+
+__all__ = [
+    "HEDGED",
+    "Hedged",
+    "LEAST_OUTSTANDING",
+    "LeastOutstanding",
+    "OutstandingFn",
+    "POLICIES",
+    "PRIMARY",
+    "PrimaryOnly",
+    "ReplicaPolicy",
+    "build_policy",
+]

@@ -1,0 +1,383 @@
+"""The cluster front end: key routing, replica selection, hedging.
+
+Every tenant request enters here.  The router hashes the record key
+(``path@offset`` — the fine-grained cache's natural granularity) onto
+the ring, applies the replica policy, and forwards one
+:class:`Attempt` per chosen server to that server's
+:class:`~repro.cluster.node.ClusterNode`.  Reads complete on the first
+winning replica answer; writes fan out to the full replica set and
+complete when the last copy lands (write-all, the strongest and
+simplest consistency for a read-path study).
+
+Tie-break independence — the property the perturbation harness checks
+— is engineered the same way as in the serving layer: every decision
+that could depend on the order of simultaneous events is deferred to
+the settle phase and processed in a *stable* order:
+
+- **routing is settled**: submissions during a wave buffer into
+  ``_pending_requests``; the settler routes them sorted by
+  ``order_key`` (tenant index + op content), so least-outstanding
+  choices see the aggregate post-wave outstanding counts, in an order
+  no tie-break can permute (two *identical* ops may swap, which is
+  observationally symmetric);
+- **hedging is settled**: a hedge timer marks the request hedge-due;
+  the settler issues the hedge only if the request is still
+  unsatisfied *after* the whole wave — a completion at exactly the
+  hedge deadline beats the hedge under every event order;
+- **first-win ties prefer the primary**: if two replicas answer at the
+  same virtual nanosecond, the winner is the lower-rank attempt
+  regardless of which completion event ran first (the recorded latency
+  is identical either way; only the win/waste attribution needs the
+  rule).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.metrics import ClusterTenantMetrics
+from repro.cluster.policies import HEDGED, ReplicaPolicy
+from repro.serve.clients import Client, ClosedLoopClient, OpenLoopClient
+from repro.serve.server import CLOSED
+from repro.workloads.trace import Op, WriteOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import ClusterNode
+    from repro.cluster.ring import HashRing
+    from repro.serve.engine import EventLoop, ScheduledEvent
+    from repro.serve.server import TenantSpec
+    from repro.sim.racecheck import RaceChecker
+
+
+class _RouterTenant:
+    """Router-side live state of one tenant."""
+
+    __slots__ = ("spec", "index", "metrics", "client")
+
+    def __init__(self, spec: "TenantSpec", index: int, client: Client) -> None:
+        self.spec = spec
+        self.index = index
+        self.metrics = ClusterTenantMetrics(spec.name)
+        self.client = client
+
+
+class Request:
+    """One tenant operation in flight across the cluster."""
+
+    __slots__ = (
+        "tenant",
+        "op",
+        "key",
+        "order_key",
+        "submit_ns",
+        "replicas",
+        "is_write",
+        "attempts",
+        "satisfied_ns",
+        "winner",
+        "pending_writes",
+        "hedge_event",
+        "hedge_due",
+    )
+
+    def __init__(
+        self,
+        tenant: _RouterTenant,
+        op: Op,
+        key: str,
+        submit_ns: float,
+        replicas: tuple[str, ...],
+        seq: int,
+    ) -> None:
+        self.tenant = tenant
+        self.op = op
+        self.key = key
+        self.submit_ns = submit_ns
+        self.replicas = replicas
+        self.is_write = isinstance(op, WriteOp)
+        # Content-based stable order among same-wave requests: two
+        # *different* ops of one tenant always separate on offset/size;
+        # two identical ops are symmetric, so the trailing submission
+        # sequence may break their tie arbitrarily without any
+        # observable consequence.
+        self.order_key = (
+            tenant.index,
+            op.offset,
+            op.size,
+            1 if self.is_write else 0,
+            seq,
+        )
+        self.attempts: list[Attempt] = []
+        self.satisfied_ns: float | None = None
+        self.winner: "Attempt | None" = None
+        self.pending_writes = 0
+        self.hedge_event: "ScheduledEvent | None" = None
+        self.hedge_due = False
+
+
+class Attempt:
+    """One copy of a request sent to one server."""
+
+    __slots__ = ("request", "server", "index", "cancelled", "dispatched")
+
+    def __init__(self, request: Request, server: str, index: int) -> None:
+        self.request = request
+        self.server = server
+        #: 0 = first/primary attempt; 1 = the hedge (reads), or the
+        #: replica rank (writes).
+        self.index = index
+        self.cancelled = False
+        self.dispatched = False
+
+    @property
+    def tenant_index(self) -> int:
+        return self.request.tenant.index
+
+    @property
+    def order_key(self) -> tuple:
+        return self.request.order_key + (self.index,)
+
+
+def _router_ops_commute(op_a: str, op_b: str) -> bool:
+    """Wave-phase router operations that commute.
+
+    ``submit`` appends to a buffer the settler sorts; ``complete``
+    touches per-request state (same-timestamp completions of one
+    request resolve by the prefer-primary rule) and counters that only
+    increment/decrement; ``hedge-due`` marks a flag the settler reads
+    after the wave.  ``route`` happens only in the settle phase, which
+    the checker already fences.
+    """
+    commuting = {"submit", "complete", "hedge-due"}
+    return op_a in commuting and op_b in commuting
+
+
+class Router:
+    """Consistent-hash front end over the cluster's nodes."""
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        ring: "HashRing",
+        nodes: dict[str, "ClusterNode"],
+        policy: ReplicaPolicy,
+        tenants: tuple["TenantSpec", ...],
+        *,
+        seed: int,
+        racecheck: "RaceChecker | None" = None,
+    ) -> None:
+        self.loop = loop
+        self.ring = ring
+        self.nodes = nodes
+        self.policy = policy
+        self.racecheck = racecheck
+        #: Router-visible load per server: attempts issued minus
+        #: attempts completed or cancelled (what least-outstanding and
+        #: hedge-target selection read).
+        self.outstanding: dict[str, int] = {name: 0 for name in ring.servers}
+        self._seq = 0
+        self._pending_requests: list[Request] = []
+        self._pending_hedges: list[Request] = []
+        self._tenants: list[_RouterTenant] = []
+        for index, spec in enumerate(tenants):
+            client = self._build_client(spec, index, seed)
+            state = _RouterTenant(spec, index, client)
+            self._tenants.append(state)
+            client.bind(loop, self._make_submit(state))
+            if racecheck is not None:
+                racecheck.track(
+                    state.metrics.latency,
+                    f"latency:{spec.name}",
+                    commutative_ops={"record"},
+                )
+                racecheck.track(
+                    state.metrics.read_latency,
+                    f"read-latency:{spec.name}",
+                    commutative_ops={"record"},
+                )
+        if racecheck is not None:
+            racecheck.track(self, "router", commutes=_router_ops_commute)
+        loop.add_settler(self._settle)
+        for node in nodes.values():
+            node.on_attempt_done = self.on_attempt_done
+
+    # --- clients -------------------------------------------------------
+    def _build_client(self, spec: "TenantSpec", index: int, seed: int) -> Client:
+        if spec.mode == CLOSED:
+            return ClosedLoopClient(
+                spec.trace,
+                concurrency=spec.concurrency,
+                think_ns=spec.think_ns,
+                max_ops=spec.max_ops,
+            )
+        # Distinct, deterministic arrival stream per tenant (same
+        # derivation as the single-server layer).
+        return OpenLoopClient(
+            spec.trace,
+            rate_qps=spec.rate_qps,
+            seed=seed * 1_000_003 + index,
+            max_ops=spec.max_ops,
+        )
+
+    def start_clients(self) -> None:
+        for state in self._tenants:
+            state.client.start()
+
+    def tenant_states(self) -> list[_RouterTenant]:
+        return self._tenants
+
+    # --- submission (wave phase: buffer only) --------------------------
+    def _make_submit(self, state: _RouterTenant):
+        def submit(op: Op) -> None:
+            if self.racecheck is not None:
+                self.racecheck.access(self, "write", "submit")
+            state.metrics.submitted += 1
+            key = f"{op.path}@{op.offset}"
+            request = Request(
+                state, op, key, self.loop.now_ns, self.ring.replicas(key), self._seq
+            )
+            self._seq += 1
+            if self.loop.running:
+                self._pending_requests.append(request)
+            else:
+                self._route(request)
+
+        return submit
+
+    # --- settle phase: route + hedge in stable order --------------------
+    def _settle(self) -> bool:
+        worked = False
+        if self._pending_requests:
+            batch = sorted(self._pending_requests, key=lambda r: r.order_key)
+            self._pending_requests.clear()
+            for request in batch:
+                self._route(request)
+            worked = True
+        if self._pending_hedges:
+            batch = sorted(self._pending_hedges, key=lambda r: r.order_key)
+            self._pending_hedges.clear()
+            for request in batch:
+                self._issue_hedge(request)
+            worked = True
+        return worked
+
+    def _route(self, request: Request) -> None:
+        if self.racecheck is not None:
+            self.racecheck.access(self, "write", "route")
+        metrics = request.tenant.metrics
+        if request.is_write:
+            # Write-all: one attempt per replica, complete on the last.
+            metrics.writes += 1
+            request.pending_writes = len(request.replicas)
+            for rank, server in enumerate(request.replicas):
+                self._issue(request, server, rank)
+            return
+        metrics.reads += 1
+        metrics.demanded_bytes += request.op.size
+        first = self.policy.pick(request.replicas, self._outstanding_of)
+        self._issue(request, first, 0)
+        delay_ns = self.policy.hedge_delay_ns
+        if delay_ns is not None and len(request.replicas) > 1:
+            request.hedge_event = self.loop.schedule(
+                delay_ns, self._make_hedge_timer(request)
+            )
+
+    def _issue(self, request: Request, server: str, index: int) -> None:
+        attempt = Attempt(request, server, index)
+        request.attempts.append(attempt)
+        self.outstanding[server] += 1
+        self.nodes[server].submit(attempt)
+
+    def _make_hedge_timer(self, request: Request):
+        def hedge_due() -> None:
+            if self.racecheck is not None:
+                self.racecheck.access(self, "write", "hedge-due")
+            request.hedge_event = None
+            if request.satisfied_ns is None and not request.hedge_due:
+                request.hedge_due = True
+                self._pending_hedges.append(request)
+
+        return hedge_due
+
+    def _issue_hedge(self, request: Request) -> None:
+        """Issue the second attempt (settle phase, still unsatisfied)."""
+        if request.satisfied_ns is not None or len(request.attempts) != 1:
+            return
+        first = request.attempts[0].server
+        target = self.policy.hedge_pick(
+            request.replicas, first, self._outstanding_of
+        )
+        if target is None:
+            return
+        request.tenant.metrics.hedges_issued += 1
+        self._issue(request, target, 1)
+
+    def _outstanding_of(self, server: str) -> int:
+        return self.outstanding[server]
+
+    # --- completion (wave phase) ----------------------------------------
+    def on_attempt_done(self, attempt: Attempt, end_ns: float) -> None:
+        if self.racecheck is not None:
+            self.racecheck.access(self, "write", "complete")
+        self.outstanding[attempt.server] -= 1
+        request = attempt.request
+        metrics = request.tenant.metrics
+        if request.is_write:
+            request.pending_writes -= 1
+            if request.pending_writes == 0:
+                self._finish(request, attempt, end_ns)
+            return
+        if request.satisfied_ns is None:
+            self._finish(request, attempt, end_ns)
+            if attempt.index > 0:
+                metrics.hedges_won += 1
+            self._cancel_losers(request, attempt)
+            return
+        # A loser replica answered after (or tied with) the winner.
+        winner = request.winner
+        if (
+            end_ns == request.satisfied_ns  # simlint: allow[float-time-equality]
+            and winner is not None
+            and attempt.index < winner.index
+        ):
+            # Same-nanosecond tie: credit the primary regardless of
+            # which completion event the tie-break ran first.  The
+            # recorded latency is identical; only attribution moves.
+            request.winner = attempt
+            metrics.hedges_won -= 1
+        metrics.hedges_wasted += 1
+
+    def _finish(self, request: Request, attempt: Attempt, end_ns: float) -> None:
+        request.satisfied_ns = end_ns
+        request.winner = attempt
+        metrics = request.tenant.metrics
+        metrics.completed += 1
+        latency_ns = end_ns - request.submit_ns
+        if self.racecheck is not None:
+            self.racecheck.access(metrics.latency, "write", "record")
+        metrics.latency.record(latency_ns)
+        if not request.is_write:
+            if self.racecheck is not None:
+                self.racecheck.access(metrics.read_latency, "write", "record")
+            metrics.read_latency.record(latency_ns)
+        request.tenant.client.on_done(request.op, completed=True)
+
+    def _cancel_losers(self, request: Request, winner: Attempt) -> None:
+        """Cancel-on-first-win: reap the timer and any queued loser."""
+        if request.hedge_event is not None:
+            request.hedge_event.cancel()
+            request.hedge_event = None
+        for other in request.attempts:
+            if other is winner or other.cancelled:
+                continue
+            if not other.dispatched:
+                # Still queued in a ring (or the admission buffer): the
+                # node drops it at fetch time without executing it.
+                other.cancelled = True
+                self.outstanding[other.server] -= 1
+                request.tenant.metrics.hedges_cancelled += 1
+            # Already in the stage pipeline: it will run to completion
+            # and be counted as wasted work when it reports back.
+
+
+__all__ = ["Attempt", "Request", "Router"]

@@ -17,6 +17,7 @@ import time
 
 from repro.experiments import (
     backend_matrix,
+    cluster,
     compare,
     fig1,
     fig5,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "multitenant": multitenant.run,
     "serving": serving.run,
     "backend-matrix": backend_matrix.run,
+    "cluster": cluster.run,
 }
 
 #: Order that reuses memoized suites (synthetic uniform/zipfian, apps).
@@ -75,6 +77,7 @@ ALL_ORDER = [
     "multitenant",
     "serving",
     "backend-matrix",
+    "cluster",
 ]
 
 

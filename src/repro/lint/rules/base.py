@@ -15,7 +15,7 @@ RULES: dict[str, "Rule"] = {}
 #: core; experiments/workloads are generators *around* it).  ``serve``
 #: is in scope: the event loop, arbitration and QoS all execute on the
 #: virtual timeline and must stay deterministic.
-SIM_PACKAGES = frozenset({"sim", "ssd", "kernel", "core", "baselines", "serve"})
+SIM_PACKAGES = frozenset({"sim", "ssd", "kernel", "core", "baselines", "serve", "cluster"})
 
 
 class Rule:

@@ -27,6 +27,8 @@ import numpy as np
 from repro.workloads.trace import FileSpec, Op, ReadOp, Trace, WriteOp
 from repro.workloads.zipf import ScatteredZipf
 
+#: Default storage paths; override per :class:`SocialGraphConfig` to
+#: express per-shard / per-cluster-node file namespaces.
 NODE_FILE = "/data/socialgraph/nodes.bin"
 EDGE_FILE = "/data/socialgraph/edges.bin"
 
@@ -60,12 +62,21 @@ class SocialGraphConfig:
     operations: int = 100_000
     zipf_alpha: float = 0.95
     seed: int = 11
+    #: Storage paths of the node and edge files (defaults unchanged);
+    #: configurable so a sharded deployment can give each tenant or
+    #: cluster namespace its own files.
+    node_file: str = NODE_FILE
+    edge_file: str = EDGE_FILE
 
     def __post_init__(self) -> None:
         if self.nodes <= 0 or self.operations <= 0:
             raise ValueError("nodes and operations must be positive")
         if self.mean_out_degree <= 0 or self.max_out_degree < 1:
             raise ValueError("invalid degree parameters")
+        if not self.node_file or not self.edge_file:
+            raise ValueError("node_file and edge_file must be non-empty paths")
+        if self.node_file == self.edge_file:
+            raise ValueError("node_file and edge_file must differ")
 
 
 @dataclass(frozen=True)
@@ -163,27 +174,27 @@ def social_graph_trace(config: SocialGraphConfig) -> Trace:
             node = node_pick.sample()
             if kind in ("get_node",):
                 offset, size = layout.node_record(node)
-                yield ReadOp(NODE_FILE, offset, size)
+                yield ReadOp(config.node_file, offset, size)
             elif kind in ("get_links_list", "count_link"):
                 offset, size = layout.edge_run(node)
-                yield ReadOp(EDGE_FILE, offset, size)
+                yield ReadOp(config.edge_file, offset, size)
             elif kind == "get_link":
                 degree = int(layout.degrees[node])
                 offset, size = layout.edge_record(node, rng.randrange(degree))
-                yield ReadOp(EDGE_FILE, offset, size)
+                yield ReadOp(config.edge_file, offset, size)
             elif kind in ("update_node", "add_node", "delete_node"):
                 offset, size = layout.node_record(node)
-                yield WriteOp(NODE_FILE, offset, size, seed=op_index)
+                yield WriteOp(config.node_file, offset, size, seed=op_index)
             else:  # update_link, add_link, delete_link
                 degree = int(layout.degrees[node])
                 offset, size = layout.edge_record(node, rng.randrange(degree))
-                yield WriteOp(EDGE_FILE, offset, size, seed=op_index)
+                yield WriteOp(config.edge_file, offset, size, seed=op_index)
 
     return Trace(
         name="social-graph",
         files=[
-            FileSpec(NODE_FILE, layout.node_file_size),
-            FileSpec(EDGE_FILE, layout.edge_file_size),
+            FileSpec(config.node_file, layout.node_file_size),
+            FileSpec(config.edge_file, layout.edge_file_size),
         ],
         build_ops=build,
         metadata={

@@ -1,0 +1,62 @@
+"""Replica-policy decision functions (pure, no loop involved)."""
+
+import pytest
+
+from repro.cluster.policies import (
+    Hedged,
+    LeastOutstanding,
+    PrimaryOnly,
+    build_policy,
+)
+
+REPLICAS = ("s0", "s1", "s2")
+
+
+def _outstanding(counts):
+    return lambda server: counts[server]
+
+
+def test_primary_only_always_first():
+    policy = PrimaryOnly()
+    assert policy.pick(REPLICAS, _outstanding({"s0": 99, "s1": 0, "s2": 0})) == "s0"
+    assert policy.hedge_delay_ns is None
+
+
+def test_least_outstanding_picks_min():
+    policy = LeastOutstanding()
+    assert policy.pick(REPLICAS, _outstanding({"s0": 3, "s1": 1, "s2": 2})) == "s1"
+    # Ties break by replica rank: s0 wins against equal s2.
+    assert policy.pick(REPLICAS, _outstanding({"s0": 1, "s1": 5, "s2": 1})) == "s0"
+
+
+def test_hedged_picks_primary_then_best_other():
+    policy = Hedged(1_000.0)
+    counts = _outstanding({"s0": 0, "s1": 4, "s2": 1})
+    assert policy.pick(REPLICAS, counts) == "s0"
+    assert policy.hedge_pick(REPLICAS, "s0", counts) == "s2"
+    # Nowhere to hedge with a single replica.
+    assert policy.hedge_pick(("s0",), "s0", counts) is None
+    assert policy.hedge_delay_ns == 1_000.0
+
+
+def test_hedge_pick_tie_prefers_rank():
+    policy = Hedged(1_000.0)
+    counts = _outstanding({"s0": 0, "s1": 2, "s2": 2})
+    assert policy.hedge_pick(REPLICAS, "s0", counts) == "s1"
+
+
+def test_hedged_delay_validation():
+    with pytest.raises(ValueError):
+        Hedged(0.0)
+    with pytest.raises(ValueError):
+        Hedged(float("nan"))
+
+
+def test_build_policy():
+    assert isinstance(build_policy("primary", 1.0), PrimaryOnly)
+    assert isinstance(build_policy("least_outstanding", 1.0), LeastOutstanding)
+    hedged = build_policy("hedged", 2_000.0)
+    assert isinstance(hedged, Hedged)
+    assert hedged.hedge_delay_ns == 2_000.0
+    with pytest.raises(ValueError, match="unknown replica policy"):
+        build_policy("coin_flip", 1.0)

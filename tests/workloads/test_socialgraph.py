@@ -99,3 +99,36 @@ def test_validation():
         make_config(nodes=0)
     with pytest.raises(ValueError):
         make_config(mean_out_degree=0)
+
+
+def test_configurable_file_paths():
+    config = make_config(
+        node_file="/shard3/nodes.bin", edge_file="/shard3/edges.bin"
+    )
+    trace = social_graph_trace(config)
+    assert {spec.path for spec in trace.files} == {
+        "/shard3/nodes.bin",
+        "/shard3/edges.bin",
+    }
+    for op in trace.ops():
+        assert op.path in ("/shard3/nodes.bin", "/shard3/edges.bin")
+
+
+def test_default_file_paths_unchanged():
+    config = make_config()
+    assert config.node_file == NODE_FILE
+    assert config.edge_file == EDGE_FILE
+    # Overriding the paths relocates, but never reshapes, the trace.
+    moved = make_config(node_file="/n", edge_file="/e")
+    base_ops = list(social_graph_trace(config).ops())
+    moved_ops = list(social_graph_trace(moved).ops())
+    assert [(op.offset, op.size) for op in base_ops] == [
+        (op.offset, op.size) for op in moved_ops
+    ]
+
+
+def test_file_path_validation():
+    with pytest.raises(ValueError):
+        make_config(node_file="")
+    with pytest.raises(ValueError):
+        make_config(node_file="/same.bin", edge_file="/same.bin")
