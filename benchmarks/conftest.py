@@ -84,7 +84,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
         terminalreporter.write_line("  -> results/BENCH_cluster.json")
 
     from repro.lint.context import ModuleContext
-    from repro.lint.engine import iter_python_files
+    from repro.lint.engine import iter_python_files, link_contexts
     from repro.lint.rules.base import RULES
 
     src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -100,11 +100,11 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
             contexts.append(ModuleContext.parse(str(path), path.read_text()))
         except SyntaxError:
             continue
-    index = {ctx.module_name: ctx.flow.summaries for ctx in contexts}
-    unit_index = {ctx.module_name: ctx.units.summaries for ctx in contexts}
-    for ctx in contexts:
-        ctx.flow.package_index = index
-        ctx.units.module_index = unit_index
+    link_contexts(contexts)
+    if contexts:
+        # The phase index links lazily; force it here so the analysis
+        # cost lands in this bucket, not inside the first phase rule.
+        contexts[0].phases.linked().phase("")
     flow_s = time.perf_counter() - started  # simlint: allow[virtual-time-purity]
 
     rule_times: list[tuple[str, float]] = []
@@ -142,3 +142,14 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
     writer.write_line("  -> results/BENCH_simlint.json")
+
+    # Fold every BENCH_*.json snapshot into the per-PR trajectory
+    # series, so this session's numbers become a diffable datapoint.
+    from benchmarks.trajectory import fold
+
+    entry = fold()
+    if entry is not None:
+        writer.write_line(
+            f"  -> results/TRAJECTORY.json (label {entry['label']}, "
+            f"{len(entry['bench'])} bench areas)"
+        )

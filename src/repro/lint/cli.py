@@ -119,6 +119,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "(warning per pruned entry); new findings are still reported",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --update-baseline: write nothing, fail (exit 1) if "
+        "the baseline holds stale entries — the CI staleness gate",
+    )
+    parser.add_argument(
+        "--fix-suppressions",
+        action="store_true",
+        help="delete '# simlint: allow[...]' comments the full rule set "
+        "reports as unused-suppression, then exit",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix-suppressions: print the unified diff of the "
+        "edits without writing them (exit 1 if edits are pending)",
+    )
+    parser.add_argument(
         "--format",
         choices=FORMATS,
         default="text",
@@ -139,6 +157,44 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for rule_id in sorted(RULES):
             print(f"{rule_id}: {RULES[rule_id].description}")
+        return 0
+
+    if args.dry_run and not args.fix_suppressions:
+        parser.error("--dry-run only applies to --fix-suppressions")
+    if args.check and not args.update_baseline:
+        parser.error("--check only applies to --update-baseline")
+
+    if args.fix_suppressions:
+        if args.rules:
+            parser.error(
+                "--fix-suppressions runs the full rule set (a suppression "
+                "is only provably stale then); drop --rule"
+            )
+        from repro.lint.fix import fix_suppressions
+
+        try:
+            edits, diff = fix_suppressions(args.paths, dry_run=args.dry_run)
+        except OSError as exc:
+            print(f"simlint: {exc}", file=sys.stderr)
+            return 2
+        except Exception as exc:  # crash in the engine or the fixer
+            print(
+                f"simlint: internal error: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.dry_run:
+            if diff:
+                print(diff, end="")
+                print(
+                    f"simlint: would remove {edits} stale allow "
+                    "suppression(s); run without --dry-run to apply",
+                    file=sys.stderr,
+                )
+                return 1
+            print("simlint: no stale allow suppressions")
+            return 0
+        print(f"simlint: removed {edits} stale allow suppression(s)")
         return 0
 
     try:
@@ -175,6 +231,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"simlint: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
             return 2
         findings, stale = baseline_mod.apply(findings, baseline)
+        if args.check:
+            for path, rule, count in stale:
+                print(
+                    f"simlint: stale baseline entry {path} [{rule}] x{count} — "
+                    "run --update-baseline to prune it",
+                    file=sys.stderr,
+                )
+            if findings:
+                for finding in findings:
+                    print(finding.render())
+                print(
+                    f"simlint: {len(findings)} new finding(s) not grandfathered",
+                    file=sys.stderr,
+                )
+            clean = not stale and not findings
+            print(
+                "simlint: baseline is "
+                + ("tight (no stale entries)" if clean else "NOT clean")
+            )
+            return 0 if clean else 1
         pruned = baseline_mod.prune(baseline, stale)
         baseline_mod.save(pruned, baseline_path)
         for path, rule, count in stale:

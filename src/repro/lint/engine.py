@@ -106,6 +106,25 @@ def lint_file(path: str | Path, *, rules: Iterable[Rule] | None = None) -> list[
     return lint_source(path.read_text(), _report_path(path), rules=rules)
 
 
+def link_contexts(contexts: list[ModuleContext]) -> None:
+    """Install the shared cross-module indexes on every context.
+
+    One flow package index, one unit-summary index, and one whole-program
+    :class:`~repro.lint.phases.PhaseIndex` (built lazily on first phase
+    query) are shared by every module of a directory run, so call sites,
+    dimensions, and wave/settle reachability resolve across files.
+    """
+    from repro.lint.phases import PhaseIndex
+
+    index = {ctx.module_name: ctx.flow.summaries for ctx in contexts}
+    unit_index = {ctx.module_name: ctx.units.summaries for ctx in contexts}
+    phase_index = PhaseIndex([ctx.phases for ctx in contexts])
+    for ctx in contexts:
+        ctx.flow.package_index = index
+        ctx.units.module_index = unit_index
+        ctx.phases.index = phase_index
+
+
 def run(
     paths: Iterable[str | Path], *, rule_ids: Iterable[str] | None = None
 ) -> list[Finding]:
@@ -128,11 +147,7 @@ def run(
             )
     # Phase 2: share one package index so cross-module call sites
     # resolve against every sibling's function summaries.
-    index = {ctx.module_name: ctx.flow.summaries for ctx in contexts}
-    unit_index = {ctx.module_name: ctx.units.summaries for ctx in contexts}
-    for ctx in contexts:
-        ctx.flow.package_index = index
-        ctx.units.module_index = unit_index
+    link_contexts(contexts)
     rules = selected if selected is not None else list(RULES.values())
     for ctx in contexts:
         findings.extend(_lint_context(ctx, rules, report_unused=selected is None))
@@ -143,6 +158,7 @@ __all__ = [
     "SYNTAX_ERROR",
     "UNUSED_SUPPRESSION",
     "iter_python_files",
+    "link_contexts",
     "lint_file",
     "lint_source",
     "run",

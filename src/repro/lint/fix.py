@@ -1,0 +1,103 @@
+"""Auto-removal of stale ``# simlint: allow[...]`` comments.
+
+The engine reports allow comments that excused nothing as
+``unused-suppression`` findings; this module closes the loop by editing
+them out of the source.  The fixer reuses the engine verbatim — a full
+directory run with every rule — so its notion of "stale" is exactly the
+one CI gates on, including carry-down comments and suppressions that
+are themselves excused via ``allow[unused-suppression]``.
+
+Per stale ``(file, line, rule)``:
+
+- the rule id is removed from the bracket list;
+- an emptied ``allow[...]`` comment is removed entirely;
+- a line left blank (it held only the comment) is deleted.
+
+Dry-run mode renders the edits as a unified diff without writing.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from pathlib import Path
+
+from repro.lint.engine import UNUSED_SUPPRESSION, run
+from repro.lint.suppressions import _ALLOW
+
+#: The stale rule id embedded in an unused-suppression message.
+_RULE_IN_MESSAGE = re.compile(r"allow\[([^\]]+)\]")
+
+
+def find_stale(paths: list[str | Path]) -> dict[str, dict[int, set[str]]]:
+    """``{path: {comment line: {stale rule ids}}}`` per the full engine run."""
+    stale: dict[str, dict[int, set[str]]] = {}
+    for finding in run(paths):
+        if finding.rule != UNUSED_SUPPRESSION:
+            continue
+        match = _RULE_IN_MESSAGE.search(finding.message)
+        if match is None:  # pragma: no cover - engine always embeds the id
+            continue
+        stale.setdefault(finding.path, {}).setdefault(finding.line, set()).add(
+            match.group(1)
+        )
+    return stale
+
+
+def rewrite_line(text: str, stale_rules: set[str]) -> str | None:
+    """The line with ``stale_rules`` removed; ``None`` drops the line."""
+    match = _ALLOW.search(text)
+    if match is None:
+        return text
+    rules = [part.strip() for part in match.group(1).split(",") if part.strip()]
+    keep = [rule for rule in rules if rule not in stale_rules]
+    if keep:
+        return f"{text[: match.start()]}# simlint: allow[{','.join(keep)}]{text[match.end():]}"
+    remainder = (text[: match.start()] + text[match.end() :]).rstrip()
+    return remainder if remainder.strip() else None
+
+
+def fix_suppressions(
+    paths: list[str | Path], *, dry_run: bool = False
+) -> tuple[int, str]:
+    """Remove stale allow comments under ``paths``.
+
+    Returns ``(edits, diff)``: the number of stale rule ids removed and
+    the unified diff of every change.  With ``dry_run`` nothing is
+    written; otherwise the edited files are saved and the diff still
+    describes what changed.
+    """
+    stale = find_stale(paths)
+    edits = 0
+    diffs: list[str] = []
+    for path in sorted(stale):
+        file = Path(path)
+        original = file.read_text()
+        lines = original.splitlines()
+        keepends = original.splitlines(keepends=True)
+        trailing_newline = original.endswith("\n")
+        fixed: list[str] = []
+        for number, text in enumerate(lines, start=1):
+            per_line = stale[path].get(number)
+            if per_line is None:
+                fixed.append(text)
+                continue
+            edits += len(per_line)
+            replacement = rewrite_line(text, per_line)
+            if replacement is not None:
+                fixed.append(replacement)
+        new_source = "\n".join(fixed) + ("\n" if trailing_newline else "")
+        diffs.extend(
+            difflib.unified_diff(
+                keepends,
+                new_source.splitlines(keepends=True),
+                fromfile=f"a/{path}",
+                tofile=f"b/{path}",
+            )
+        )
+        if not dry_run:
+            file.write_text(new_source)
+    return edits, "".join(diffs)
+
+
+__all__ = ["find_stale", "fix_suppressions", "rewrite_line"]

@@ -10,6 +10,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     concurrency,
     determinism,
     dimension,
+    phase_discipline,
     rng,
     stage_charging,
     units,

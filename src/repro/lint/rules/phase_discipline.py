@@ -1,0 +1,345 @@
+"""Phase-discipline rules: the static side of the racecheck (PR 10).
+
+Built on :mod:`repro.lint.phases`, which classifies every function as
+wave-phase (reachable from callbacks scheduled on the event loop),
+settle-phase (reachable from ``add_settler`` hooks), or both, and
+summarises which shared serving objects each call chain mutates.  The
+dynamic checker (:mod:`repro.sim.racecheck`) catches violations a
+config happens to exercise; these rules prove the discipline over
+every path:
+
+- ``wave-phase-shared-mutation`` — a wave-reachable call chain mutates
+  a FIFO/ring/bucket/histogram/arbiter/system with an op that is not
+  statically commutative.  Same-timestamp wave events may fire in any
+  tie-break order, so the mutation order is undefined: defer it to a
+  settler, or make it commutative (key a FIFO ``acquire``).
+- ``commutativity-decl-mismatch`` — a ``racecheck.track(...)`` call
+  declares commutativity (``commutative_ops=...`` or a ``commutes=``
+  predicate) the static tables in :mod:`repro.lint.phases` do not
+  support for the object's kind.  The dynamic checker *trusts* these
+  declarations; an over-claim silently disables it.
+- ``racecheck-instrumentation-gap`` — a shared object is mutated from
+  the wave phase but its kind is never registered with the race
+  checker anywhere in the run (and its class does not self-report),
+  so the dynamic side is blind to it.
+- ``unstable-order-key`` — ``id()`` / ``hash()`` feeding an ordering
+  (sort/heap keys, ``<`` comparisons) or ``next(iter(<set>))`` picking
+  "the first" element: both vary across processes and runs, so any
+  order they induce is unreproducible.  Identity-map lookups like
+  ``table[id(obj)]`` stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.phases import (
+    STATIC_COMMUTATIVE,
+    WAVE,
+    FuncFacts,
+    MutationSite,
+    PhaseIndex,
+    class_kind,
+    predicate_claims,
+)
+from repro.lint.rules.base import SIM_PACKAGES, Rule, register
+
+#: Calls whose argument order becomes an ordering of results.
+ORDERING_CALLS = frozenset(
+    {
+        "sorted",
+        "sort",
+        "min",
+        "max",
+        "heappush",
+        "heappushpop",
+        "heapify",
+        "heapreplace",
+        "nsmallest",
+        "nlargest",
+        "merge",
+    }
+)
+
+#: Builtins whose value differs across processes/runs for equal inputs.
+UNSTABLE_VALUE_CALLS = frozenset({"id", "hash"})
+
+
+def _short(qualname: str) -> str:
+    """Trailing dotted segments — readable in a one-line chain."""
+    parts = [part for part in qualname.split(".") if part != "<locals>"]
+    return ".".join(parts[-2:]) if len(parts) > 2 else qualname
+
+
+def _chain(index: PhaseIndex, fact: FuncFacts) -> str:
+    return " -> ".join(_short(name) for name in index.witness(fact.qualname, WAVE))
+
+
+def _wave_mutations(
+    index: PhaseIndex, module_name: str
+) -> list[tuple[FuncFacts, MutationSite]]:
+    """(function, mutation) pairs that execute during a timestamp wave.
+
+    Pre-run-only sites (behind a ``not running`` deferral guard) and a
+    shared object's mutations of itself (its internal discipline, owned
+    by the dynamic checker) are excluded.
+    """
+    sites: list[tuple[FuncFacts, MutationSite]] = []
+    for fact in index.module_functions(module_name):
+        if index.phase(fact.qualname) not in (WAVE, "both"):
+            continue
+        for site in fact.mutations:
+            if site.pre_run_only:
+                continue
+            if site.owner_is_self and class_kind(fact.class_name, index.registry):
+                continue
+            sites.append((fact, site))
+    return sites
+
+
+@register
+class WavePhaseSharedMutation(Rule):
+    id = "wave-phase-shared-mutation"
+    description = (
+        "wave-phase code must not mutate shared serving state with "
+        "non-commutative ops; defer to a settler or key the acquire"
+    )
+    packages = SIM_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        index = ctx.phases.linked()
+        findings: list[Finding] = []
+        for fact, site in _wave_mutations(index, ctx.module_name):
+            if site.commutative:
+                continue
+            hint = (
+                "pass key= so the acquire is buffered and settled in stable order"
+                if site.kind == "fifo" and site.op == "acquire"
+                else "defer the mutation to an add_settler hook"
+            )
+            findings.append(
+                self.finding(
+                    ctx,
+                    site.node,
+                    f"wave-phase chain {_chain(index, fact)} mutates "
+                    f"{site.receiver} ({site.kind}) via non-commutative "
+                    f"op '{site.op}'; same-timestamp events fire in "
+                    f"tie-break order, so {hint}",
+                )
+            )
+        return findings
+
+
+@register
+class CommutativityDeclMismatch(Rule):
+    id = "commutativity-decl-mismatch"
+    description = (
+        "racecheck.track declarations must not claim commutativity the "
+        "static op tables do not support for the object's kind"
+    )
+    packages = SIM_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        index = ctx.phases.linked()
+        findings: list[Finding] = []
+        for track in index.module_tracks(ctx.module_name):
+            if track.kind is None:
+                continue  # unknown kind: nothing static to compare against
+            allowed = STATIC_COMMUTATIVE.get(track.kind, frozenset())
+            over = sorted(track.declared_ops - allowed)
+            if over:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        track.node,
+                        f"track({track.obj_desc}, ...) declares "
+                        f"commutative_ops {over} but a {track.kind}'s "
+                        f"statically commutative ops are "
+                        f"{sorted(allowed)}; the dynamic racecheck "
+                        f"would trust the over-claim and go blind to "
+                        f"reorderings of {over}",
+                    )
+                )
+            if track.predicate is not None:
+                node = index.predicate_node(ctx.module_name, track.predicate)
+                claims = predicate_claims(node) if node is not None else frozenset()
+                over = sorted(claims - allowed)
+                if over:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            track.node,
+                            f"track({track.obj_desc}, ...) passes "
+                            f"commutes={track.predicate}, which can "
+                            f"answer True for ops {over} beyond the "
+                            f"{track.kind}'s statically commutative set "
+                            f"{sorted(allowed)}",
+                        )
+                    )
+        return findings
+
+
+@register
+class RacecheckInstrumentationGap(Rule):
+    id = "racecheck-instrumentation-gap"
+    description = (
+        "objects mutated during the wave phase must be registered with "
+        "the dynamic race checker (track(...) or self-reporting class)"
+    )
+    packages = SIM_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        index = ctx.phases.linked()
+        findings: list[Finding] = []
+        seen: set[tuple[int, str]] = set()
+        for fact, site in _wave_mutations(index, ctx.module_name):
+            if site.kind in index.tracked_kinds:
+                continue
+            key = (site.node.lineno, site.kind)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                self.finding(
+                    ctx,
+                    site.node,
+                    f"{site.receiver} ({site.kind}) is mutated on the "
+                    f"wave-phase chain {_chain(index, fact)} but no "
+                    f"racecheck.track(...) covers a {site.kind} in this "
+                    f"run, so REPRO_RACECHECK=1 cannot see the access",
+                )
+            )
+        return findings
+
+
+def _set_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names and ``self.<attr>`` attributes bound to set values."""
+    from repro.lint.rules.determinism import _SetNames
+
+    bindings = _SetNames()
+    bindings.visit(tree)
+    return bindings.names, bindings.attrs
+
+
+def _is_set_valued(node: ast.expr, names: set[str], attrs: set[str]) -> bool:
+    from repro.lint.rules.determinism import _is_set_expr
+
+    if _is_set_expr(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in names
+    if isinstance(node, ast.Attribute):
+        return node.attr in attrs
+    return False
+
+
+def _unstable_calls(node: ast.AST) -> list[ast.Call]:
+    """``id()`` / ``hash()`` calls feeding the value of ``node``.
+
+    Subscript indices are skipped: ``table[id(obj)]`` is an identity-map
+    *lookup*; the looked-up value, not the id, reaches the ordering.
+    """
+    found: list[ast.Call] = []
+
+    def visit(expr: ast.AST) -> None:
+        if isinstance(expr, ast.Subscript):
+            visit(expr.value)
+            return
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in UNSTABLE_VALUE_CALLS
+        ):
+            found.append(expr)
+        for child in ast.iter_child_nodes(expr):
+            visit(child)
+
+    visit(node)
+    return found
+
+
+@register
+class UnstableOrderKey(Rule):
+    id = "unstable-order-key"
+    description = (
+        "orderings must not depend on id()/hash() or set iteration "
+        "order; derive keys from stable simulation state"
+    )
+    packages = SIM_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        reported: set[int] = set()
+        names, attrs = _set_names(ctx.tree)
+
+        def report(node: ast.AST, message: str) -> None:
+            if id(node) in reported:
+                return
+            reported.add(id(node))
+            findings.append(self.finding(ctx, node, message))
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                leaf = None
+                if isinstance(node.func, ast.Name):
+                    leaf = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    leaf = node.func.attr
+                ordering = leaf in ORDERING_CALLS
+                for value in [*node.args, *[kw.value for kw in node.keywords]]:
+                    is_key = any(
+                        kw.arg == "key" and kw.value is value for kw in node.keywords
+                    )
+                    if not (ordering or is_key):
+                        continue
+                    for call in _unstable_calls(value):
+                        what = call.func.id  # type: ignore[union-attr]
+                        report(
+                            call,
+                            f"{what}() feeds an ordering "
+                            f"({'key=' if is_key else leaf}); its value "
+                            "varies across processes, so the induced "
+                            "order is unreproducible — key on stable "
+                            "simulation state instead",
+                        )
+                if (
+                    leaf == "next"
+                    and node.args
+                    and isinstance(node.args[0], ast.Call)
+                    and isinstance(node.args[0].func, ast.Name)
+                    and node.args[0].func.id == "iter"
+                    and node.args[0].args
+                    and _is_set_valued(node.args[0].args[0], names, attrs)
+                ):
+                    report(
+                        node,
+                        "next(iter(<set>)) picks an arbitrary element — "
+                        "set order is hash-seed dependent; sort the set "
+                        "or keep an ordered container",
+                    )
+            elif isinstance(node, ast.Compare):
+                if any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops
+                ):
+                    for operand in [node.left, *node.comparators]:
+                        for call in _unstable_calls(operand):
+                            what = call.func.id  # type: ignore[union-attr]
+                            report(
+                                call,
+                                f"{what}() compared with an ordering "
+                                "operator; identity values vary across "
+                                "processes, so the branch is "
+                                "unreproducible",
+                            )
+        return findings
+
+
+__all__ = [
+    "CommutativityDeclMismatch",
+    "RacecheckInstrumentationGap",
+    "UnstableOrderKey",
+    "WavePhaseSharedMutation",
+]

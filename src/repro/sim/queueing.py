@@ -115,12 +115,15 @@ class PipelineSimulator:
                 admit()  # completion frees one closed-loop slot
 
             def on_nand(_end_ns: float) -> None:
-                pcie.acquire(demand.pcie_ns, on_pcie)
+                pcie.acquire(demand.pcie_ns, on_pcie, key=index)
 
             def on_host(_end_ns: float) -> None:
-                channel.acquire(demand.nand_ns, on_nand)
+                channel.acquire(demand.nand_ns, on_nand, key=index)
 
-            host.acquire(demand.host_ns, on_host)
+            # The admission index keys every stage acquire, so when two
+            # requests reach a stage in the same timestamp wave the FIFO
+            # admits them in request order, not event tie-break order.
+            host.acquire(demand.host_ns, on_host, key=index)
 
         for _ in range(min(queue_depth, count)):
             admit()

@@ -1,0 +1,15 @@
+"""A helper another module drives from the wave phase: the mutation is
+here, the root is in ``server.py`` — the finding must cross the module
+boundary through the linked phase index."""
+
+from shared import LatencyHistogram, TenantQueue
+
+
+def pop_ring(ring: TenantQueue) -> object:
+    """Pops its ``ring`` parameter (typed by annotation)."""
+    return ring.pop()  # expect: wave-phase-shared-mutation
+
+
+def observe(hist: LatencyHistogram, now_ns: float) -> None:
+    """Records into a histogram — commutative, clean from any phase."""
+    hist.record(now_ns)

@@ -1,0 +1,37 @@
+"""Wave-phase roots plus every way to get the discipline wrong.
+
+``on_request`` is scheduled on the event loop, so everything it reaches
+runs during a timestamp wave — including ``helpers.pop_ring`` in the
+next module over.  The ring's ``track(...)`` over-claims ``pop`` as
+commutative, the bucket is never tracked at all, and two orderings
+lean on ``id()`` / set iteration order.
+"""
+
+from helpers import observe, pop_ring
+from shared import LatencyHistogram, RaceChecker, TenantQueue, TokenBucket
+
+
+class MiniServer:
+    def __init__(self, loop, checker: RaceChecker) -> None:
+        self.loop = loop
+        self.ring = TenantQueue(8)
+        self.bucket = TokenBucket(100)
+        self.hist = LatencyHistogram()
+        self.active: set[str] = set()
+        checker.track(  # expect: commutativity-decl-mismatch
+            self.ring, "tenant-ring", commutative_ops={"push", "pop"}
+        )
+        checker.track(self.hist, "latency")
+        loop.schedule(0, self.on_request)
+
+    def on_request(self, now_ns: float) -> None:
+        self.bucket.take(1)  # expect: racecheck-instrumentation-gap
+        pop_ring(self.ring)
+        observe(self.hist, now_ns)
+        self.hist.record(now_ns)
+
+    def flush(self, waiters: list[object]) -> list[object]:
+        return sorted(waiters, key=lambda w: id(w))  # expect: unstable-order-key
+
+    def pick_tenant(self) -> str:
+        return next(iter(self.active))  # expect: unstable-order-key

@@ -1,0 +1,37 @@
+"""The correctly-settled counterpart: zero findings expected.
+
+Wave-phase code only *buffers*; the non-commutative pop happens in an
+``add_settler`` hook (after the wave, under the happens-before fence)
+or before the loop starts (behind the ``loop.running`` deferral guard).
+"""
+
+from shared import RaceChecker, TenantQueue
+
+
+class SettledMerger:
+    def __init__(self, loop, checker: RaceChecker) -> None:
+        self.loop = loop
+        self.ring = TenantQueue(4)
+        self.pending: list[object] = []
+        checker.track(self.ring, "settled-ring")
+        loop.schedule(0, self.on_item)
+        loop.add_settler(self.settle)
+
+    def on_item(self, _now_ns: float) -> None:
+        # Wave phase: append-only buffering, no shared-kind mutation.
+        self.pending.append(_now_ns)
+        self.drain_one()
+
+    def drain_one(self) -> None:
+        if self.loop.running:
+            self.pending.append("deferred")
+            return
+        # Pre-run only (the guard above returns while the loop runs):
+        # a non-commutative pop here can never race a wave.
+        self.ring.pop()
+
+    def settle(self) -> None:
+        # Settle phase: waves are quiescent, pops drain in stable order.
+        while self.pending:
+            self.ring.push(self.pending.pop())
+            self.ring.pop()

@@ -1,0 +1,49 @@
+"""Stub shared-object classes: kinds resolve by *name*, so these tiny
+stand-ins exercise the phase analysis without importing the real tree."""
+
+
+class TenantQueue:
+    """A ring (name-mapped kind): push commutes, pop does not."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.items: list[object] = []
+
+    def push(self, item: object) -> None:
+        self.items.append(item)
+
+    def pop(self) -> object:
+        return self.items.pop(0)
+
+
+class TokenBucket:
+    """A token bucket: take commutes but still needs instrumentation."""
+
+    def __init__(self, tokens: int) -> None:
+        self.tokens = tokens
+
+    def take(self, n: int) -> bool:
+        if self.tokens < n:
+            return False
+        self.tokens -= n
+        return True
+
+
+class LatencyHistogram:
+    """An order-free sketch: record commutes."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def record(self, value_ns: float) -> None:
+        self.samples.append(value_ns)
+
+
+class RaceChecker:
+    """Registration surface only: the static rules read the call sites."""
+
+    def __init__(self) -> None:
+        self.tracked: list[tuple[object, str]] = []
+
+    def track(self, obj: object, label: str, **declared: object) -> None:
+        self.tracked.append((obj, label))

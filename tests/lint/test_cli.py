@@ -218,6 +218,125 @@ def test_corrupt_baseline_update_exits_two(tmp_path: Path, monkeypatch, capsys) 
     assert "cannot read baseline" in capsys.readouterr().err
 
 
+# --- suppression fixing -----------------------------------------------
+
+STALE = (
+    "import time\n\n\ndef f():\n"
+    "    return 1  # simlint: allow[virtual-time-purity]\n"
+)
+MIXED = (
+    "import time\n\n\ndef f():\n"
+    "    return time.time()  # simlint: allow[virtual-time-purity,seeded-rng-only]\n"
+)
+
+
+def test_fix_suppressions_removes_stale_comment(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(STALE)
+    assert main([str(target), "--fix-suppressions"]) == 0
+    assert "removed 1 stale allow suppression(s)" in capsys.readouterr().out
+    assert "simlint: allow" not in target.read_text()
+    # The tree is clean afterwards: no unused-suppression findings left.
+    assert main([str(target), "--no-baseline"]) == 0
+
+
+def test_fix_suppressions_keeps_live_rules(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(MIXED)
+    assert main([str(target), "--fix-suppressions"]) == 0
+    text = target.read_text()
+    # The wall-clock call is real, so its suppression survives; the
+    # stale seeded-rng-only id is edited out of the bracket.
+    assert "# simlint: allow[virtual-time-purity]" in text
+    assert "seeded-rng-only" not in text
+
+
+def test_fix_suppressions_dry_run_prints_diff(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(STALE)
+    assert main([str(target), "--fix-suppressions", "--dry-run"]) == 1
+    captured = capsys.readouterr()
+    assert "-    return 1  # simlint: allow[virtual-time-purity]" in captured.out
+    assert "+    return 1" in captured.out
+    assert "would remove 1 stale allow suppression(s)" in captured.err
+    # Dry run never writes.
+    assert target.read_text() == STALE
+
+
+def test_fix_suppressions_clean_tree_exits_zero(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(SUPPRESSED)
+    assert main([str(target), "--fix-suppressions", "--dry-run"]) == 0
+    assert "no stale allow suppressions" in capsys.readouterr().out
+    assert main([str(target), "--fix-suppressions"]) == 0
+    assert target.read_text() == SUPPRESSED
+
+
+def test_dry_run_requires_fix_suppressions(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(target), "--dry-run"])
+    assert excinfo.value.code == 2
+
+
+def test_fix_suppressions_rejects_rule_filter(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(STALE)
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(target), "--fix-suppressions", "--rule", "virtual-time-purity"])
+    assert excinfo.value.code == 2
+
+
+# --- baseline staleness gate (--update-baseline --check) --------------
+
+
+def test_check_mode_passes_on_tight_baseline(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text(VIOLATION)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["mod.py", "--update-baseline", "--check"]) == 0
+    assert "baseline is tight" in capsys.readouterr().out
+
+
+def test_check_mode_fails_on_stale_entry_without_writing(
+    tmp_path: Path, monkeypatch, capsys
+) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    before = (tmp_path / "simlint-baseline.json").read_text()
+    target.write_text("def f():\n    return 0\n")  # violation fixed
+    capsys.readouterr()
+    assert main(["mod.py", "--update-baseline", "--check"]) == 1
+    captured = capsys.readouterr()
+    assert "stale baseline entry" in captured.err
+    assert "NOT clean" in captured.out
+    # Check mode never rewrites the baseline file.
+    assert (tmp_path / "simlint-baseline.json").read_text() == before
+
+
+def test_check_mode_fails_on_new_findings(tmp_path: Path, monkeypatch, capsys) -> None:
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    target.write_text(VIOLATION + "\n\ndef g():\n    return time.time()\n")
+    capsys.readouterr()
+    assert main(["mod.py", "--update-baseline", "--check"]) == 1
+    assert "not grandfathered" in capsys.readouterr().err
+
+
+def test_check_requires_update_baseline(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(VIOLATION)
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(target), "--check"])
+    assert excinfo.value.code == 2
+
+
 # --- github format escaping -------------------------------------------
 
 

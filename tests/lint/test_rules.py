@@ -37,6 +37,18 @@ FIXTURE_RULES = {
 }
 
 
+#: fixture *package* -> rules whose counterexamples need cross-module
+#: linking and so live in a directory fixture instead of a single file.
+PACKAGE_FIXTURE_RULES = {
+    "phasepkg": {
+        "wave-phase-shared-mutation",
+        "commutativity-decl-mismatch",
+        "racecheck-instrumentation-gap",
+        "unstable-order-key",
+    },
+}
+
+
 def expected_findings(path: Path) -> list[tuple[int, str]]:
     expected: list[tuple[int, str]] = []
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
@@ -52,7 +64,20 @@ def test_every_fixture_is_tested() -> None:
 
 
 def test_every_rule_has_a_fixture() -> None:
-    assert set(RULES) == {rule for rule in FIXTURE_RULES.values() if rule}
+    single = {rule for rule in FIXTURE_RULES.values() if rule}
+    packaged = set().union(*PACKAGE_FIXTURE_RULES.values())
+    assert set(RULES) == single | packaged
+
+
+def test_package_fixtures_mark_their_rules() -> None:
+    # The declared rule sets stay honest: every rule claimed for a
+    # package fixture has at least one ``# expect:`` marker inside it.
+    for package, rules in PACKAGE_FIXTURE_RULES.items():
+        marked: set[str] = set()
+        for path in (FIXTURES / package).glob("*.py"):
+            for _, rule in expected_findings(path):
+                marked.add(rule)
+        assert rules <= marked, f"{package} lacks markers for {rules - marked}"
 
 
 @pytest.mark.parametrize("name", sorted(FIXTURE_RULES))
